@@ -1,0 +1,49 @@
+// Command experiments regenerates the tables and figures of the
+// SuperFE paper's evaluation (§8) from the simulators in this
+// repository.
+//
+// Usage:
+//
+//	experiments                  # run everything at full scale
+//	experiments -quick           # CI-sized workloads
+//	experiments -exp fig12       # one experiment
+//	experiments -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"superfe/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run CI-sized workloads")
+	exp := flag.String("exp", "", "run a single experiment (table2..table4, fig9..fig17)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range []string{"table2", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"} {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale := harness.Full
+	if *quick {
+		scale = harness.Quick
+	}
+	if *exp != "" {
+		t, ok := harness.ByID(*exp, scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Println(t.Render())
+		return
+	}
+	for _, t := range harness.All(scale) {
+		fmt.Println(t.Render())
+	}
+}

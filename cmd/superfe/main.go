@@ -1,0 +1,136 @@
+// Command superfe deploys one of the bundled application policies on
+// the simulated switch+SmartNIC pipeline, replays a synthetic
+// workload through it, and writes the extracted feature vectors as
+// CSV — the command-line face of the library.
+//
+// Usage:
+//
+//	superfe -list                         # list bundled policies
+//	superfe -policy Kitsune -show         # print policy source + programs
+//	superfe -policy NPOD -trace campus    # run and emit vectors as CSV
+//	superfe -policy TF -trace wfp -stats  # pipeline statistics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"superfe/internal/apps"
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/policy"
+	"superfe/internal/trace"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list bundled policies")
+	polName := flag.String("policy", "", "bundled policy name (see -list)")
+	show := flag.Bool("show", false, "print the policy source and generated programs")
+	traceName := flag.String("trace", "enterprise", "workload: mawi, enterprise, campus, wfp, botnet, covert, mirai, osscan, ssdp")
+	seed := flag.Int64("seed", 42, "trace generator seed")
+	statsOnly := flag.Bool("stats", false, "print pipeline statistics instead of vectors")
+	maxVecs := flag.Int("n", 0, "emit at most n vectors (0 = all)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range apps.Catalog() {
+			p := e.Build()
+			fmt.Printf("%-10s %-26s dim=%d loc=%d\n", e.Name, e.Objective, p.FeatureDim(), p.LinesOfCode())
+		}
+		return
+	}
+	if *polName == "" {
+		fmt.Fprintln(os.Stderr, "superfe: -policy required (try -list)")
+		os.Exit(2)
+	}
+	var pol *policy.Policy
+	for _, e := range apps.Catalog() {
+		if strings.EqualFold(e.Name, *polName) {
+			pol = e.Build()
+		}
+	}
+	if pol == nil {
+		fmt.Fprintf(os.Stderr, "superfe: unknown policy %q\n", *polName)
+		os.Exit(2)
+	}
+
+	if *show {
+		plan, err := policy.Compile(pol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+		fmt.Println(pol.Source())
+		fmt.Println(plan.P4Listing())
+		fmt.Println(plan.MicroCListing())
+		return
+	}
+
+	tr, err := makeTrace(*traceName, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "superfe:", err)
+		os.Exit(2)
+	}
+
+	emitted := 0
+	sink := func(v feature.Vector) {
+		if *statsOnly || (*maxVecs > 0 && emitted >= *maxVecs) {
+			emitted++
+			return
+		}
+		emitted++
+		cells := make([]string, 0, len(v.Values)+1)
+		cells = append(cells, v.Key.String())
+		for _, x := range v.Values {
+			cells = append(cells, strconv.FormatFloat(x, 'g', 8, 64))
+		}
+		fmt.Println(strings.Join(cells, ","))
+	}
+	fe, err := core.New(core.DefaultOptions(), pol, sink)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "superfe:", err)
+		os.Exit(1)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+
+	if *statsOnly {
+		sw := fe.SwitchStats()
+		nic := fe.NICStats()
+		fmt.Printf("trace      : %s (%s)\n", tr.Name, tr.Stats())
+		fmt.Printf("switch     : %s\n", sw)
+		fmt.Printf("nic        : msgs=%d mgpvs=%d cells=%d vectors=%d groups=%d\n",
+			nic.Msgs, nic.MGPVs, nic.Cells, nic.Vectors, nic.GroupsLive)
+		fmt.Printf("aggregation: %.4f (%.2f%% reduction)\n", sw.AggregationRatio(), 100*(1-sw.AggregationRatio()))
+		fmt.Printf("vectors    : %d of dim %d\n", emitted, pol.FeatureDim())
+	}
+}
+
+func makeTrace(name string, seed int64) (*trace.Trace, error) {
+	switch strings.ToLower(name) {
+	case "mawi":
+		return trace.Generate(trace.MAWIConfig, seed), nil
+	case "enterprise":
+		return trace.Generate(trace.EnterpriseConfig, seed), nil
+	case "campus":
+		return trace.Generate(trace.CampusConfig, seed), nil
+	case "wfp":
+		return trace.GenerateWebsites(trace.DefaultWebsiteConfig(), seed), nil
+	case "botnet":
+		return trace.GenerateBotnet(trace.DefaultBotnetConfig(), seed), nil
+	case "covert":
+		return trace.GenerateCovert(trace.DefaultCovertConfig(), seed), nil
+	case "mirai":
+		return trace.GenerateIntrusion(trace.DefaultIntrusionConfig(trace.AttackMirai), seed), nil
+	case "osscan":
+		return trace.GenerateIntrusion(trace.DefaultIntrusionConfig(trace.AttackOSScan), seed), nil
+	case "ssdp":
+		return trace.GenerateIntrusion(trace.DefaultIntrusionConfig(trace.AttackSSDPFlood), seed), nil
+	}
+	return nil, fmt.Errorf("unknown trace %q", name)
+}

@@ -1,0 +1,83 @@
+// Intrusion detection end to end: Kitsune's 115-dimension feature
+// extractor deployed on SuperFE, feeding its autoencoder-ensemble
+// detector — the paper's §8.3 application study on the Mirai
+// scenario. The example trains the ensemble online on the benign
+// prefix of the traffic and reports detection quality over the attack
+// window.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"superfe/internal/apps"
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/mlsim"
+	"superfe/internal/trace"
+)
+
+func main() {
+	// Synthesize an IoT network with a Mirai-style infection: rapid
+	// telnet SYN fan-out from compromised cameras.
+	cfg := trace.DefaultIntrusionConfig(trace.AttackMirai)
+	tr := trace.GenerateIntrusion(cfg, 42)
+	fmt.Printf("trace: %s — %s\n", tr.Name, tr.Stats())
+
+	// Ground truth lookup for scoring.
+	labels := map[uint64]uint8{}
+	for i := range tr.Packets {
+		canon, _ := tr.Packets[i].Tuple.Canonical()
+		labels[uint64(canon.SrcIP)<<32|uint64(uint32(tr.Packets[i].Timestamp))] = tr.Labels[i]
+	}
+
+	// Deploy Kitsune's extractor on SuperFE.
+	pol := apps.Kitsune()
+	type sample struct {
+		vec   []float64
+		ts    int64
+		label uint8
+	}
+	var samples []sample
+	fe, err := core.New(core.DefaultOptions(), pol, func(v feature.Vector) {
+		canon, _ := v.Key.Tuple.Canonical()
+		lbl, ok := labels[uint64(canon.SrcIP)<<32|uint64(uint32(v.Timestamp))]
+		if !ok {
+			return
+		}
+		samples = append(samples, sample{append([]float64(nil), v.Values...), v.Timestamp, lbl})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].ts < samples[j].ts })
+	fmt.Printf("extracted %d feature vectors (dim %d), aggregation ratio %.4f\n",
+		len(samples), pol.FeatureDim(), fe.SwitchStats().AggregationRatio())
+
+	// Train the ensemble online on the pre-attack benign prefix.
+	ens, err := mlsim.NewKitsuneEnsemble(pol.FeatureDim(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const attackStart = int64(5e8)
+	var scores []float64
+	var truth []uint8
+	for _, s := range samples {
+		if s.ts < attackStart*9/10 && s.label == 0 {
+			ens.Train(s.vec)
+			continue
+		}
+		scores = append(scores, ens.Score(s.vec))
+		truth = append(truth, s.label)
+	}
+	m := mlsim.EvaluateScores(scores, truth)
+	fmt.Printf("trained on %d benign vectors, scored %d\n", ens.Trained(), len(scores))
+	fmt.Printf("detection: AUC %.3f, accuracy %.3f (TPR %.3f / FPR %.3f) at threshold %.4f\n",
+		m.AUC, m.Accuracy, m.TPR, m.FPR, m.Threshold)
+}

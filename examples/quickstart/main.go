@@ -1,0 +1,92 @@
+// Quickstart: write a feature-extraction policy with the SuperFE
+// operators, deploy it onto the simulated switch + SmartNIC pipeline,
+// replay a synthetic workload, and print the resulting feature
+// vectors — the minimal end-to-end tour of the Figure 1 workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/flowkey"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/streaming"
+	"superfe/internal/trace"
+)
+
+func main() {
+	// 1. Write the policy: the paper's Figure 3 basic statistical
+	// features — per TCP flow, packet count plus size and
+	// inter-packet-time statistics.
+	pol, err := policy.New("quickstart").
+		Filter(policy.TCPExists()).
+		GroupBy(flowkey.GranFlow).
+		Map("one", policy.SrcNone, policy.MapOne).
+		Reduce("one", policy.RF(streaming.FSum)).
+		Collect().
+		Reduce("size",
+			policy.RF(streaming.FMean), policy.RF(streaming.FVar),
+			policy.RF(streaming.FMin), policy.RF(streaming.FMax)).
+		Collect().
+		Map("ipt", policy.SrcField(packet.FieldTimestamp), policy.MapIPT).
+		Reduce("ipt",
+			policy.RF(streaming.FMean), policy.RF(streaming.FVar),
+			policy.RF(streaming.FMin), policy.RF(streaming.FMax)).
+		Collect().
+		Build()
+	if err != nil {
+		log.Fatalf("build policy: %v", err)
+	}
+	fmt.Println("Policy source:")
+	fmt.Println(pol.Source())
+
+	// 2. Deploy it: policy → FE-Switch (MGPV batching) + FE-NIC
+	// (streaming feature computation).
+	var vecs []feature.Vector
+	fe, err := core.New(core.DefaultOptions(), pol, feature.Collect(&vecs))
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	fmt.Println("Generated FE-Switch program:")
+	fmt.Println(fe.Plan().P4Listing())
+	fmt.Println("Generated FE-NIC program:")
+	fmt.Println(fe.Plan().MicroCListing())
+
+	// 3. Replay traffic through the pipeline.
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 2000
+	tr := trace.Generate(cfg, 1)
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+
+	// 4. Inspect the results.
+	sw := fe.SwitchStats()
+	fmt.Printf("switch: %d packets in (%d filtered), aggregation ratio %.4f\n",
+		sw.PktsIn, sw.PktsFiltered, sw.AggregationRatio())
+	fmt.Printf("NIC: %d MGPVs, %d cells, %d feature vectors\n\n",
+		fe.NICStats().MGPVs, fe.NICStats().Cells, len(vecs))
+	fmt.Println("first five feature vectors (count, size μ/σ²/min/max, ipt μ/σ²/min/max):")
+	for _, v := range vecs[:min(5, len(vecs))] {
+		fmt.Printf("  %-45s %v\n", v.Key, rounded(v.Values))
+	}
+}
+
+func rounded(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int64(x*100)) / 100
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module superfe
+
+go 1.22

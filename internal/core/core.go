@@ -1,0 +1,123 @@
+// Package core is SuperFE's top-level API: it wires a compiled
+// feature-extraction policy through the FE-Switch and FE-NIC engines,
+// reproducing the full workflow of Figure 1 in the paper — raw
+// packets in, feature vectors out.
+//
+// Typical use:
+//
+//	pol := apps.Kitsune()                  // or build your own policy
+//	fe, err := core.New(core.DefaultOptions(), pol, sink)
+//	for i := range trace.Packets {
+//		fe.Process(&trace.Packets[i])
+//	}
+//	fe.Flush()                             // drain remaining vectors
+//
+// The Options struct exposes the switch cache sizing, NIC topology
+// and optimization toggles so the experiment harness can run the
+// paper's ablations against the same pipeline users run.
+package core
+
+import (
+	"fmt"
+
+	"superfe/internal/feature"
+	"superfe/internal/gpv"
+	"superfe/internal/nicsim"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/switchsim"
+)
+
+// Options configures a SuperFE deployment.
+type Options struct {
+	Switch switchsim.Config
+	NIC    nicsim.Config
+	// VerifyWire round-trips every switch→NIC message through the
+	// binary codec, exactly as the hardware link would. Slower;
+	// enabled in tests and available for debugging.
+	VerifyWire bool
+}
+
+// DefaultOptions returns the paper's prototype configuration (§7).
+func DefaultOptions() Options {
+	return Options{
+		Switch: switchsim.DefaultConfig(),
+		NIC:    nicsim.DefaultConfig(),
+	}
+}
+
+// SuperFE is one deployed feature extractor: a policy compiled onto a
+// switch instance and a NIC runtime.
+type SuperFE struct {
+	opts Options
+	plan *policy.Plan
+	sw   *switchsim.Switch
+	nic  *nicsim.Runtime
+	enc  []byte
+}
+
+// New compiles the policy and deploys it.
+func New(opts Options, pol *policy.Policy, sink feature.Sink) (*SuperFE, error) {
+	plan, err := policy.Compile(pol)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %q: %w", pol.Name(), err)
+	}
+	fe := &SuperFE{opts: opts, plan: plan}
+	fe.nic, err = nicsim.NewRuntime(opts.NIC, plan, sink)
+	if err != nil {
+		return nil, fmt.Errorf("core: FE-NIC for %q: %w", pol.Name(), err)
+	}
+	fe.sw, err = switchsim.New(opts.Switch, plan.Switch, fe.deliver)
+	if err != nil {
+		return nil, fmt.Errorf("core: FE-Switch for %q: %w", pol.Name(), err)
+	}
+	return fe, nil
+}
+
+// deliver carries one message over the switch→NIC channel, optionally
+// through the wire codec.
+func (fe *SuperFE) deliver(m gpv.Message) {
+	if fe.opts.VerifyWire {
+		var err error
+		fe.enc, err = m.Marshal(fe.enc[:0])
+		if err != nil {
+			panic(fmt.Sprintf("core: marshal: %v", err))
+		}
+		dec, n, err := gpv.Unmarshal(fe.enc)
+		if err != nil || n != len(fe.enc) {
+			panic(fmt.Sprintf("core: wire round-trip failed: %v (n=%d len=%d)", err, n, len(fe.enc)))
+		}
+		fe.nic.Process(dec)
+		return
+	}
+	fe.nic.Process(m)
+}
+
+// Process runs one packet through the deployed extractor. It returns
+// whether the packet passed the policy filter.
+func (fe *SuperFE) Process(p *packet.Packet) bool {
+	return fe.sw.Process(p)
+}
+
+// Flush drains the switch cache and emits per-group feature vectors.
+func (fe *SuperFE) Flush() {
+	fe.sw.Flush()
+	fe.nic.Flush()
+}
+
+// Plan exposes the compiled plan (for inspection and the experiment
+// harness).
+func (fe *SuperFE) Plan() *policy.Plan { return fe.plan }
+
+// SwitchStats returns the FE-Switch counters.
+func (fe *SuperFE) SwitchStats() switchsim.Stats { return fe.sw.Stats() }
+
+// NICStats returns the FE-NIC counters.
+func (fe *SuperFE) NICStats() nicsim.RuntimeStats { return fe.nic.Stats() }
+
+// NICStateBytes returns the live NIC state footprint.
+func (fe *SuperFE) NICStateBytes() int { return fe.nic.StateBytes() }
+
+// Switch exposes the underlying switch simulator (for experiments
+// that need occupancy probes).
+func (fe *SuperFE) Switch() *switchsim.Switch { return fe.sw }

@@ -1,0 +1,25 @@
+package feature
+
+import (
+	"testing"
+
+	"superfe/internal/flowkey"
+)
+
+func TestCollectCopiesValues(t *testing.T) {
+	var out []Vector
+	sink := Collect(&out)
+	vals := []float64{1, 2, 3}
+	sink(Vector{Key: flowkey.Key{Gran: flowkey.GranFlow}, Values: vals})
+	vals[0] = 99 // mutate the caller's slice
+	if out[0].Values[0] != 1 {
+		t.Error("Collect must copy values")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{Key: flowkey.Key{Gran: flowkey.GranHost, Tuple: flowkey.FiveTuple{SrcIP: flowkey.IPv4(10, 0, 0, 1)}}, Values: []float64{1, 2}}
+	if s := v.String(); s == "" {
+		t.Error("empty string")
+	}
+}

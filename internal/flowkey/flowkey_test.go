@@ -1,0 +1,205 @@
+package flowkey
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tupleOf(a, b uint32, sp, dp uint16, pr Proto) FiveTuple {
+	return FiveTuple{SrcIP: a, DstIP: b, SrcPort: sp, DstPort: dp, Proto: pr}
+}
+
+func TestGranularityString(t *testing.T) {
+	cases := map[Granularity]string{
+		GranFlow: "flow", GranHost: "host", GranChannel: "channel", GranSocket: "socket",
+	}
+	for g, want := range cases {
+		if got := g.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", g, got, want)
+		}
+	}
+}
+
+func TestGranularityDirectional(t *testing.T) {
+	if GranFlow.Directional() {
+		t.Error("flow must not record direction (Appendix A)")
+	}
+	for _, g := range []Granularity{GranHost, GranChannel, GranSocket} {
+		if !g.Directional() {
+			t.Errorf("%s must record direction", g)
+		}
+	}
+}
+
+func TestCoarser(t *testing.T) {
+	if !GranHost.Coarser(GranChannel) || !GranChannel.Coarser(GranSocket) {
+		t.Error("dependency chain host ⊃ channel ⊃ socket broken")
+	}
+	if GranSocket.Coarser(GranFlow) || GranFlow.Coarser(GranSocket) {
+		t.Error("socket and flow share the finest level")
+	}
+	if GranSocket.Coarser(GranHost) {
+		t.Error("socket must not be coarser than host")
+	}
+}
+
+func TestChainSort(t *testing.T) {
+	got := ChainSort([]Granularity{GranSocket, GranHost, GranChannel})
+	want := []Granularity{GranHost, GranChannel, GranSocket}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChainSort = %v, want %v", got, want)
+		}
+	}
+	// Stability at equal depth: socket before flow if given first.
+	got = ChainSort([]Granularity{GranSocket, GranFlow})
+	if got[0] != GranSocket || got[1] != GranFlow {
+		t.Errorf("ChainSort not stable at equal depth: %v", got)
+	}
+	// Input must not be mutated.
+	in := []Granularity{GranSocket, GranHost}
+	_ = ChainSort(in)
+	if in[0] != GranSocket {
+		t.Error("ChainSort mutated its input")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	a := tupleOf(1, 2, 10, 20, ProtoTCP)
+	r := a.Reverse()
+	if r.SrcIP != 2 || r.DstIP != 1 || r.SrcPort != 20 || r.DstPort != 10 {
+		t.Errorf("Reverse() = %+v", r)
+	}
+	if r.Reverse() != a {
+		t.Error("double Reverse must be identity")
+	}
+}
+
+func TestCanonicalInvariants(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16, pr uint8) bool {
+		tup := tupleOf(a, b, sp, dp, Proto(pr))
+		c1, fwd1 := tup.Canonical()
+		c2, fwd2 := tup.Reverse().Canonical()
+		// Both directions canonicalise to the same tuple.
+		if c1 != c2 {
+			return false
+		}
+		// Exactly one orientation is forward (unless palindromic).
+		if tup != tup.Reverse() && fwd1 == fwd2 {
+			return false
+		}
+		// Canonical of canonical is itself and forward.
+		cc, fwd := c1.Canonical()
+		return cc == c1 && fwd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyForDirections(t *testing.T) {
+	tup := tupleOf(IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 2), 1234, 80, ProtoTCP)
+	for _, g := range []Granularity{GranHost, GranChannel, GranSocket} {
+		k1, fwd1 := KeyFor(g, tup)
+		k2, fwd2 := KeyFor(g, tup.Reverse())
+		if k1 != k2 {
+			t.Errorf("%s: both directions must share a key: %v vs %v", g, k1, k2)
+		}
+		if fwd1 == fwd2 {
+			t.Errorf("%s: directions must differ", g)
+		}
+	}
+	// Flow: directions are distinct groups.
+	k1, _ := KeyFor(GranFlow, tup)
+	k2, _ := KeyFor(GranFlow, tup.Reverse())
+	if k1 == k2 {
+		t.Error("flow granularity must keep directions separate")
+	}
+}
+
+func TestKeyForHostUsesLowerIP(t *testing.T) {
+	lo, hi := IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 9)
+	tup := tupleOf(hi, lo, 5, 6, ProtoUDP)
+	k, fwd := KeyFor(GranHost, tup)
+	if k.Tuple.SrcIP != lo {
+		t.Errorf("host key = %v, want lower IP %d", k, lo)
+	}
+	if fwd {
+		t.Error("packet from the higher IP must be backward")
+	}
+}
+
+func TestProjectConsistency(t *testing.T) {
+	f := func(a, b uint32, sp, dp uint16) bool {
+		tup := tupleOf(a|1, b|1, sp, dp, ProtoTCP)
+		canon, _ := tup.Canonical()
+		// Projecting the canonical FG tuple must equal direct keying.
+		for _, g := range []Granularity{GranHost, GranChannel, GranSocket} {
+			direct, _ := KeyFor(g, tup)
+			proj := Project(g, canon)
+			if direct != proj {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash32Deterministic(t *testing.T) {
+	tup := tupleOf(1, 2, 3, 4, ProtoTCP)
+	if Hash32(tup) != Hash32(tup) {
+		t.Error("hash not deterministic")
+	}
+	if Hash32(tup) == Hash32(tup.Reverse()) {
+		t.Error("hash should distinguish directions (raw tuples)")
+	}
+}
+
+func TestHashKeyGranularityMixing(t *testing.T) {
+	tup := tupleOf(1, 2, 3, 4, ProtoTCP)
+	a := HashKey(Key{Gran: GranFlow, Tuple: tup})
+	b := HashKey(Key{Gran: GranSocket, Tuple: tup})
+	if a == b {
+		t.Error("same tuple at different granularities must hash differently")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Coarse uniformity check: buckets of a few thousand random keys
+	// should all be populated.
+	r := rand.New(rand.NewSource(1))
+	const buckets = 64
+	var counts [buckets]int
+	const n = 64 * 200
+	for i := 0; i < n; i++ {
+		tup := tupleOf(r.Uint32(), r.Uint32(), uint16(r.Intn(65536)), uint16(r.Intn(65536)), ProtoTCP)
+		counts[Hash32(tup)%buckets]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/4 {
+			t.Errorf("bucket %d badly underpopulated: %d", b, c)
+		}
+	}
+}
+
+func TestIPv4(t *testing.T) {
+	if IPv4(10, 1, 2, 3) != 0x0a010203 {
+		t.Errorf("IPv4 packing wrong: %x", IPv4(10, 1, 2, 3))
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	tup := tupleOf(IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 2), 1234, 80, ProtoTCP)
+	k, _ := KeyFor(GranHost, tup)
+	if got := k.String(); got != "host(10.0.0.1)" {
+		t.Errorf("host key string = %q", got)
+	}
+	kc, _ := KeyFor(GranChannel, tup)
+	if got := kc.String(); got != "channel(10.0.0.1->10.0.0.2)" {
+		t.Errorf("channel key string = %q", got)
+	}
+}

@@ -1,0 +1,229 @@
+package gpv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"superfe/internal/flowkey"
+)
+
+func sampleMGPV() *MGPV {
+	return &MGPV{
+		CG:     flowkey.Key{Gran: flowkey.GranHost, Tuple: flowkey.FiveTuple{SrcIP: flowkey.IPv4(10, 0, 0, 1)}},
+		Hash:   0xdeadbeef,
+		Reason: EvictFull,
+		Cells: []Cell{
+			{Values: []uint32{100, 200}, FGIndex: 7, Forward: true},
+			{Values: []uint32{300, 400}, FGIndex: 7, Forward: false},
+			{Values: []uint32{500, 600}, FGIndex: 9, Forward: true},
+		},
+	}
+}
+
+func TestMGPVRoundTrip(t *testing.T) {
+	m := Message{MGPV: sampleMGPV()}
+	buf, err := m.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != m.EncodedSize() {
+		t.Errorf("EncodedSize = %d, actual %d", m.EncodedSize(), len(buf))
+	}
+	got, n, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	v := got.MGPV
+	if v == nil {
+		t.Fatal("decoded as non-MGPV")
+	}
+	if v.CG != m.MGPV.CG || v.Hash != m.MGPV.Hash || v.Reason != m.MGPV.Reason {
+		t.Errorf("header mismatch: %+v", v)
+	}
+	if len(v.Cells) != 3 {
+		t.Fatalf("cells = %d", len(v.Cells))
+	}
+	for i, c := range v.Cells {
+		o := m.MGPV.Cells[i]
+		if c.FGIndex != o.FGIndex || c.Forward != o.Forward {
+			t.Errorf("cell %d meta mismatch: %+v vs %+v", i, c, o)
+		}
+		for j := range c.Values {
+			if c.Values[j] != o.Values[j] {
+				t.Errorf("cell %d value %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFGUpdateRoundTrip(t *testing.T) {
+	m := Message{FG: &FGUpdate{Index: 12345, Key: flowkey.FiveTuple{
+		SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: flowkey.ProtoUDP,
+	}}}
+	buf, err := m.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := Unmarshal(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("unmarshal: %v n=%d", err, n)
+	}
+	if got.FG == nil || *got.FG != *m.FG {
+		t.Errorf("FG update mismatch: %+v", got.FG)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func(srcIP uint32, hash uint32, ncells uint8, nvals uint8, reason uint8) bool {
+		nc := int(ncells)%32 + 1
+		nv := int(nvals) % 8
+		v := &MGPV{
+			CG:     flowkey.Key{Gran: flowkey.GranChannel, Tuple: flowkey.FiveTuple{SrcIP: srcIP}},
+			Hash:   hash,
+			Reason: EvictReason(reason % 4),
+		}
+		for i := 0; i < nc; i++ {
+			c := Cell{FGIndex: uint16(r.Intn(1 << 15)), Forward: r.Intn(2) == 0}
+			if nv > 0 {
+				c.Values = make([]uint32, nv)
+				for j := range c.Values {
+					c.Values[j] = r.Uint32()
+				}
+			}
+			v.Cells = append(v.Cells, c)
+		}
+		m := Message{MGPV: v}
+		buf, err := m.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		if len(buf) != m.EncodedSize() {
+			return false
+		}
+		got, n, err := Unmarshal(buf)
+		if err != nil || n != len(buf) || got.MGPV == nil {
+			return false
+		}
+		if len(got.MGPV.Cells) != nc {
+			return false
+		}
+		for i, c := range got.MGPV.Cells {
+			if c.FGIndex != v.Cells[i].FGIndex || c.Forward != v.Cells[i].Forward {
+				return false
+			}
+		}
+		return got.MGPV.CG == v.CG && got.MGPV.Hash == v.Hash
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := Unmarshal(nil); err != ErrShortBuffer {
+		t.Errorf("nil: %v", err)
+	}
+	if _, _, err := Unmarshal([]byte{99}); err != ErrBadKind {
+		t.Errorf("bad kind: %v", err)
+	}
+	// Truncated MGPV.
+	m := Message{MGPV: sampleMGPV()}
+	buf, _ := m.Marshal(nil)
+	if _, _, err := Unmarshal(buf[:len(buf)-1]); err != ErrShortBuffer {
+		t.Errorf("truncated: %v", err)
+	}
+	// Truncated FG update.
+	fg := Message{FG: &FGUpdate{Index: 1}}
+	fbuf, _ := fg.Marshal(nil)
+	if _, _, err := Unmarshal(fbuf[:4]); err != ErrShortBuffer {
+		t.Errorf("truncated FG: %v", err)
+	}
+}
+
+func TestMarshalErrors(t *testing.T) {
+	// Inconsistent cell shapes.
+	v := sampleMGPV()
+	v.Cells[1].Values = []uint32{1}
+	if _, err := (&Message{MGPV: v}).Marshal(nil); err != ErrCellShape {
+		t.Errorf("cell shape: %v", err)
+	}
+	// Empty message.
+	if _, err := (&Message{}).Marshal(nil); err == nil {
+		t.Error("empty message accepted")
+	}
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	// Multiple messages back to back decode sequentially.
+	var buf []byte
+	msgs := []Message{
+		{FG: &FGUpdate{Index: 1, Key: flowkey.FiveTuple{SrcIP: 9}}},
+		{MGPV: sampleMGPV()},
+		{FG: &FGUpdate{Index: 2, Key: flowkey.FiveTuple{SrcIP: 10}}},
+	}
+	for i := range msgs {
+		var err error
+		buf, err = msgs[i].Marshal(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	off, count := 0, 0
+	for off < len(buf) {
+		_, n, err := Unmarshal(buf[off:])
+		if err != nil {
+			t.Fatalf("message %d: %v", count, err)
+		}
+		off += n
+		count++
+	}
+	if count != 3 {
+		t.Errorf("decoded %d messages", count)
+	}
+}
+
+func TestDirectionBitPacking(t *testing.T) {
+	// FG indices use 15 bits; the top bit is direction.
+	v := &MGPV{CG: flowkey.Key{}, Cells: []Cell{{FGIndex: 0x7fff, Forward: true}}}
+	buf, err := (&Message{MGPV: v}).Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.MGPV.Cells[0]
+	if c.FGIndex != 0x7fff || !c.Forward {
+		t.Errorf("packing lost data: %+v", c)
+	}
+}
+
+func TestGPVSize(t *testing.T) {
+	// A GPV record (no FG index) is smaller per cell than MGPV but
+	// must be paid once per granularity.
+	mgpv := Message{MGPV: sampleMGPV()}
+	gpv := GPVSize(3, 2)
+	if gpv >= mgpv.EncodedSize() {
+		t.Errorf("single GPV (%d) should be below MGPV (%d)", gpv, mgpv.EncodedSize())
+	}
+	if 3*gpv <= mgpv.EncodedSize() {
+		t.Errorf("three-granularity GPV (%d) should exceed one MGPV (%d)", 3*gpv, mgpv.EncodedSize())
+	}
+}
+
+func TestEvictReasonString(t *testing.T) {
+	names := map[EvictReason]string{
+		EvictCollision: "collision", EvictFull: "full", EvictAging: "aging", EvictFlush: "flush",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d = %q", r, r.String())
+		}
+	}
+}

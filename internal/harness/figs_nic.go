@@ -1,0 +1,137 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/nicsim"
+	"superfe/internal/trace"
+)
+
+// Fig15 regenerates the streaming-vs-naïve ablation on FE-NIC: total
+// reducer state memory and average feature-computation time per cell
+// when Kitsune's extractor runs with streaming algorithms versus the
+// naïve store-everything re-implementation.
+func Fig15(s Scale) Table {
+	t := Table{
+		ID:      "fig15",
+		Title:   "FE-NIC memory and compute: streaming vs naive algorithms",
+		Note:    "paper: naive needs on-chip memory beyond the SmartNIC's capacity; streaming keeps a small footprint at higher speed",
+		Headers: []string{"Mode", "StateBytes", "ns/cell", "ModelCycles/cell"},
+	}
+	cfg := trace.DefaultIntrusionConfig(trace.AttackMirai)
+	if s == Full {
+		cfg.BenignFlows *= 4
+		cfg.AttackPkts *= 4
+	}
+	tr := trace.GenerateIntrusion(cfg, Seed)
+
+	for _, naive := range []bool{false, true} {
+		opts := core.DefaultOptions()
+		opts.NIC.Naive = naive
+		pol := compileStudy("Kitsune").Policy
+		var nVec int
+		fe, err := core.New(opts, pol, func(feature.Vector) { nVec++ })
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for i := range tr.Packets {
+			fe.Process(&tr.Packets[i])
+		}
+		fe.Flush()
+		elapsed := time.Since(start)
+		st := fe.NICStats()
+		perCell := float64(elapsed.Nanoseconds()) / float64(st.Cells)
+		// Modelled NFP cycles.
+		pl, err := nicsim.Place(opts.NIC, fe.Plan().NIC.StateSpecs)
+		if err != nil {
+			panic(err)
+		}
+		cm := nicsim.NewCostModel(opts.NIC, fe.Plan().NIC, pl)
+		var cyc float64
+		mode := "streaming"
+		if naive {
+			mode = "naive"
+			meanLen := float64(st.Cells) / float64(st.GroupsLive+1)
+			cyc = cm.NaiveCyclesPerCell(meanLen)
+		} else {
+			cyc = cm.CyclesPerCell()
+		}
+		t.AddRow(mode, fmt.Sprintf("%d", fe.NICStateBytes()), fmtF(perCell, 0), fmtF(cyc, 0))
+	}
+	return t
+}
+
+// Fig16 regenerates the multi-core scaling experiment: modelled cell
+// throughput of the four study applications from 1 core to the 120
+// cores of two NFP-4000s. The paper observes near-linear scaling,
+// with WFP (TF) the fastest extractor.
+func Fig16() Table {
+	t := Table{
+		ID:      "fig16",
+		Title:   "FE-NIC throughput scaling with SoC cores (Mcells/s)",
+		Note:    "paper: near-linear scaling to 120 cores; WFP (TF) simplest and fastest",
+		Headers: []string{"Cores", "TF", "N-BaIoT", "NPOD", "Kitsune"},
+	}
+	cfg := nicsim.TwoNICConfig()
+	models := map[string]*nicsim.CostModel{}
+	for _, name := range []string{"TF", "N-BaIoT", "NPOD", "Kitsune"} {
+		plan := compileStudy(name)
+		pl, err := nicsim.Place(cfg, plan.NIC.StateSpecs)
+		if err != nil {
+			panic(err)
+		}
+		models[name] = nicsim.NewCostModel(cfg, plan.NIC, pl)
+	}
+	for _, cores := range []int{1, 2, 4, 8, 16, 30, 60, 90, 120} {
+		row := []string{fmt.Sprintf("%d", cores)}
+		for _, name := range []string{"TF", "N-BaIoT", "NPOD", "Kitsune"} {
+			row = append(row, fmtF(models[name].CellsPerSecond(cores)/1e6, 2))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig17 regenerates the incremental-optimization experiment: Kitsune
+// compute throughput as the §6.2 optimizations are enabled one by
+// one. The paper reports up to 4× over the unoptimized baseline with
+// division elimination contributing the most.
+func Fig17() Table {
+	t := Table{
+		ID:      "fig17",
+		Title:   "FE-NIC optimizations enabled incrementally (Kitsune)",
+		Note:    "paper: up to 4x total; division elimination is the largest single win",
+		Headers: []string{"Optimizations", "Cycles/cell", "Mcells/s/core", "Speedup"},
+	}
+	plan := compileStudy("Kitsune")
+	steps := []struct {
+		name string
+		opt  nicsim.Optimizations
+	}{
+		{"none", nicsim.Optimizations{}},
+		{"+hash reuse", nicsim.Optimizations{ReuseSwitchHash: true}},
+		{"+threading", nicsim.Optimizations{ReuseSwitchHash: true, Threading: true}},
+		{"+division elim", nicsim.AllOptimizations()},
+	}
+	var base float64
+	for _, st := range steps {
+		cfg := nicsim.DefaultConfig()
+		cfg.Opt = st.opt
+		pl, err := nicsim.Place(cfg, plan.NIC.StateSpecs)
+		if err != nil {
+			panic(err)
+		}
+		cm := nicsim.NewCostModel(cfg, plan.NIC, pl)
+		cyc := cm.CyclesPerCell()
+		rate := cfg.FreqHz / cyc / 1e6
+		if base == 0 {
+			base = cyc
+		}
+		t.AddRow(st.name, fmtF(cyc, 0), fmtF(rate, 3), fmtF(base/cyc, 2)+"x")
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"fmt"
+
+	"superfe/internal/gpv"
+	"superfe/internal/policy"
+	"superfe/internal/switchsim"
+	"superfe/internal/trace"
+)
+
+// runSwitch replays a trace through an FE-Switch with a null sink and
+// returns the final stats.
+func runSwitch(cfg switchsim.Config, plan policy.SwitchPlan, tr *trace.Trace) switchsim.Stats {
+	sw, err := switchsim.New(cfg, plan, func(gpv.Message) {})
+	if err != nil {
+		panic(err)
+	}
+	for i := range tr.Packets {
+		sw.Process(&tr.Packets[i])
+	}
+	sw.Flush()
+	return sw.Stats()
+}
+
+// Fig12 regenerates the MGPV aggregation-ratio experiment: the four
+// study applications replayed over the three workload traces; the
+// paper reports an over-80% reduction (ratio below 0.2) in both
+// bytes and message rate.
+func Fig12(s Scale) Table {
+	t := Table{
+		ID:      "fig12",
+		Title:   "Aggregation ratio of MGPV (switch→NIC bytes / raw bytes)",
+		Note:    "paper: >80% reduction in receiving rate and throughput for SmartNICs",
+		Headers: []string{"App", "Trace", "AggRatio", "MsgRatio", "Reduction"},
+	}
+	traces := workloads(s)
+	for _, e := range studyApps() {
+		plan, err := policy.Compile(e.Build())
+		if err != nil {
+			panic(err)
+		}
+		for _, tr := range traces {
+			st := runSwitch(switchsim.DefaultConfig(), plan.Switch, tr)
+			agg := st.AggregationRatio()
+			t.AddRow(e.Name, tr.Name, fmtF(agg, 4), fmtF(st.MessageRatio(), 4), fmtPct(1-agg))
+		}
+	}
+	return t
+}
+
+// Fig13 regenerates the MGPV-vs-GPV resource comparison: MGPV's
+// switch memory and switch→NIC bandwidth stay approximately constant
+// as applications group by more granularities, while the naïve
+// per-granularity GPV approach grows linearly. Values are normalised
+// to the single-granularity baseline (the paper normalises to
+// k-fingerprinting; TF's single-granularity deployment is the same
+// baseline).
+func Fig13(s Scale) Table {
+	t := Table{
+		ID:      "fig13",
+		Title:   "Resource efficiency of MGPV vs GPV by granularity count",
+		Note:    "paper: MGPV ~constant, GPV linear in granularities",
+		Headers: []string{"App", "Grans", "MGPV Mem", "GPV Mem", "MGPV BW", "GPV BW"},
+	}
+	cfg := switchsim.DefaultConfig()
+	tr := workloads(s)[1] // ENTERPRISE: most flows, exercises eviction
+	var memBase, bwBase float64
+	for _, e := range studyApps() {
+		if e.Name == "NPOD" {
+			continue // paper picks TF(1), N-BaIoT(2), Kitsune(3) granularities
+		}
+		plan, err := policy.Compile(e.Build())
+		if err != nil {
+			panic(err)
+		}
+		// MGPV path.
+		mgpvMem := float64(switchsim.ConfiguredMemoryBytes(cfg, plan.Switch))
+		mgpvStats := runSwitch(cfg, plan.Switch, tr)
+		mgpvBW := float64(mgpvStats.BytesOut)
+		// GPV path: one cache per granularity.
+		bank, err := switchsim.NewGPVBank(cfg, plan.Switch, func(gpv.Message) {})
+		if err != nil {
+			panic(err)
+		}
+		for i := range tr.Packets {
+			bank.Process(&tr.Packets[i])
+		}
+		bank.Flush()
+		gpvMem := float64(bank.ConfiguredMemoryBytes(cfg))
+		gpvBW := float64(bank.Stats().BytesOut)
+		if memBase == 0 {
+			memBase, bwBase = mgpvMem, mgpvBW
+		}
+		t.AddRow(e.Name, fmt.Sprintf("%d", len(plan.Switch.Chain)),
+			fmtF(mgpvMem/memBase, 2), fmtF(gpvMem/memBase, 2),
+			fmtF(mgpvBW/bwBase, 2), fmtF(gpvBW/bwBase, 2))
+	}
+	return t
+}
+
+// Fig14 regenerates the aging-mechanism sweep: TF deployed with
+// different timeout values T, measuring the aggregation ratio and the
+// buffer efficiency (fraction of occupied MGPV slots belonging to
+// still-active flows). The paper finds aging lowers the aggregation
+// ratio and raises buffer efficiency, with the best T depending on
+// the trace's flow length distribution.
+func Fig14(s Scale) Table {
+	t := Table{
+		ID:      "fig14",
+		Title:   "Aging mechanism: aggregation ratio and buffer efficiency vs T",
+		Note:    "paper: aging reduces aggregation ratio and raises buffer efficiency; small T suits short-flow traces",
+		Headers: []string{"Trace", "T(ms)", "AggRatio", "BufferEff"},
+	}
+	plan := compileStudy("TF")
+	sweeps := []int64{0, 1_000_000, 5_000_000, 20_000_000, 100_000_000, 500_000_000}
+	for _, tr := range workloads(s) {
+		for _, T := range sweeps {
+			cfg := switchsim.DefaultConfig()
+			cfg.AgingT = T
+			sw, err := switchsim.New(cfg, plan.Switch, func(gpv.Message) {})
+			if err != nil {
+				panic(err)
+			}
+			// Sample buffer efficiency every 4096 packets.
+			var effSum float64
+			var effN int
+			window := T
+			if window == 0 {
+				window = 100_000_000 // "active" window when aging is off
+			}
+			for i := range tr.Packets {
+				sw.Process(&tr.Packets[i])
+				if i%4096 == 4095 {
+					active, occupied := sw.ActiveOccupied(window)
+					if occupied > 0 {
+						effSum += float64(active) / float64(occupied)
+						effN++
+					}
+				}
+			}
+			sw.Flush()
+			eff := 0.0
+			if effN > 0 {
+				eff = effSum / float64(effN)
+			}
+			label := "off"
+			if T > 0 {
+				label = fmtF(float64(T)/1e6, 0)
+			}
+			t.AddRow(tr.Name, label, fmtF(sw.Stats().AggregationRatio(), 4), fmtPct(eff))
+		}
+	}
+	return t
+}
+
+// compileStudy compiles one of the study policies by name.
+func compileStudy(name string) *policy.Plan {
+	for _, e := range studyApps() {
+		if e.Name == name {
+			plan, err := policy.Compile(e.Build())
+			if err != nil {
+				panic(err)
+			}
+			return plan
+		}
+	}
+	panic("harness: unknown study app " + name)
+}

@@ -1,0 +1,158 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§8) from the simulators in this repository. Each
+// experiment returns a Table — headers plus rows — that cmd/experiments
+// prints and EXPERIMENTS.md records against the paper's numbers.
+//
+// The experiments honour a scale knob so the same code runs as a
+// seconds-long smoke test in CI (Quick) and as the full-size
+// regeneration (Full).
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"superfe/internal/trace"
+)
+
+// Table is one regenerated table or figure: rows of pre-formatted
+// cells.
+type Table struct {
+	ID      string // e.g. "table2", "fig12"
+	Title   string
+	Note    string // paper-reported values / caveats
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render pretty-prints the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick shrinks workloads so the full suite runs in seconds (CI,
+	// go test).
+	Quick Scale = iota
+	// Full runs the paper-sized workloads.
+	Full
+)
+
+// Seed is the deterministic seed every experiment derives its
+// workloads from.
+const Seed = 42
+
+// workloads returns the three Table 2 traces at the requested scale.
+func workloads(s Scale) []*trace.Trace {
+	cfgs := []trace.WorkloadConfig{trace.MAWIConfig, trace.EnterpriseConfig, trace.CampusConfig}
+	var out []*trace.Trace
+	for i, cfg := range cfgs {
+		if s == Quick {
+			cfg.Flows /= 10
+		}
+		out = append(out, trace.Generate(cfg, Seed+int64(i)))
+	}
+	return out
+}
+
+// fmtF formats a float at the given precision.
+func fmtF(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// fmtPct formats a fraction as a percentage.
+func fmtPct(v float64) string {
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+// All runs every experiment at the given scale, in paper order.
+func All(s Scale) []Table {
+	return []Table{
+		Table2(s),
+		Table3(),
+		Table4(),
+		Fig9(s),
+		Fig10(s),
+		Fig11(s),
+		Fig12(s),
+		Fig13(s),
+		Fig14(s),
+		Fig15(s),
+		Fig16(),
+		Fig17(),
+	}
+}
+
+// ByID returns the experiment with the given id, or false.
+func ByID(id string, s Scale) (Table, bool) {
+	switch strings.ToLower(id) {
+	case "table2":
+		return Table2(s), true
+	case "table3":
+		return Table3(), true
+	case "table4":
+		return Table4(), true
+	case "fig9":
+		return Fig9(s), true
+	case "fig10":
+		return Fig10(s), true
+	case "fig11":
+		return Fig11(s), true
+	case "fig12":
+		return Fig12(s), true
+	case "fig13":
+		return Fig13(s), true
+	case "fig14":
+		return Fig14(s), true
+	case "fig15":
+		return Fig15(s), true
+	case "fig16":
+		return Fig16(), true
+	case "fig17":
+		return Fig17(), true
+	}
+	return Table{}, false
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+
+	"superfe/internal/apps"
+	"superfe/internal/nicsim"
+	"superfe/internal/policy"
+	"superfe/internal/switchsim"
+)
+
+// Table2 regenerates the workload-trace summary (paper Table 2:
+// MAWI 104 pkts/flow & 1246 B/pkt, ENTERPRISE 9.2 & 739, CAMPUS 58 &
+// 135).
+func Table2(s Scale) Table {
+	t := Table{
+		ID:      "table2",
+		Title:   "Workload traffic traces",
+		Note:    "paper: MAWI 104 pkt/flow 1246 B/pkt; ENTERPRISE 9.2 & 739; CAMPUS 58 & 135",
+		Headers: []string{"Trace", "Packets", "Flows", "AvgFlowLen", "AvgPktSize"},
+	}
+	for _, tr := range workloads(s) {
+		st := tr.Stats()
+		t.AddRow(tr.Name,
+			fmt.Sprintf("%d", st.Packets),
+			fmt.Sprintf("%d", st.Flows),
+			fmtF(st.AvgFlowLength, 1),
+			fmtF(st.AvgPacketSize, 0))
+	}
+	return t
+}
+
+// Table3 regenerates the policy-expressiveness table: feature
+// dimension and SuperFE policy LoC for the ten applications.
+func Table3() Table {
+	t := Table{
+		ID:      "table3",
+		Title:   "Lines of code to implement feature extractors with SuperFE",
+		Note:    "dim must match the paper exactly; LoC differs slightly (our builder is denser than the paper's DSL)",
+		Headers: []string{"Application", "Objective", "Dim", "PaperDim", "LoC", "PaperLoC"},
+	}
+	for _, e := range apps.Catalog() {
+		p := e.Build()
+		t.AddRow(e.Name, e.Objective,
+			fmt.Sprintf("%d", p.FeatureDim()), fmt.Sprintf("%d", e.PaperDim),
+			fmt.Sprintf("%d", p.LinesOfCode()), fmt.Sprintf("%d", e.PaperLOC))
+	}
+	return t
+}
+
+// studyApps returns the four §8.3 application-study policies.
+func studyApps() []apps.Entry {
+	var out []apps.Entry
+	for _, e := range apps.Catalog() {
+		switch e.Name {
+		case "TF", "N-BaIoT", "NPOD", "Kitsune":
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Table4 regenerates the hardware resource-utilization table for the
+// four study applications: switch tables / sALUs / SRAM plus
+// SmartNIC memory.
+func Table4() Table {
+	t := Table{
+		ID:      "table4",
+		Title:   "Hardware resource utilization",
+		Note:    "paper: Tables 26-32%, sALUs 69-77%, SRAM 16.5-18.8%, NIC memory 49-74%",
+		Headers: []string{"App", "Tables", "sALUs", "SRAM", "NIC Memory"},
+	}
+	swCfg := switchsim.DefaultConfig()
+	swCfg.AgingT = 10_000_000 // deployed configuration runs aging
+	nicCfg := nicsim.DefaultConfig()
+	for _, e := range studyApps() {
+		plan, err := policy.Compile(e.Build())
+		if err != nil {
+			panic(err)
+		}
+		res := switchsim.EstimateResources(swCfg, plan.Switch)
+		pl, err := nicsim.Place(nicCfg, plan.NIC.StateSpecs)
+		if err != nil {
+			panic(fmt.Sprintf("table4 %s: %v", e.Name, err))
+		}
+		mem := nicsim.EstimateMemory(nicCfg, plan.NIC.StateSpecs, pl, swCfg.NumShort)
+		t.AddRow(e.Name, fmtPct(res.Tables), fmtPct(res.SALUs), fmtPct(res.SRAM), fmtPct(mem.Overall))
+	}
+	return t
+}

@@ -1,0 +1,219 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTinyKnown(t *testing.T) {
+	// Two items, two bins; optimal puts both in bin 0 but capacity
+	// forces a split.
+	p := Problem{
+		Cost: [][]float64{{1, 5}, {1, 5}},
+		Size: []int{3, 3},
+		Cap:  []int{4, 10},
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 6 {
+		t.Errorf("cost = %g, want 6 (one item each)", sol.Cost)
+	}
+	if !sol.Exact {
+		t.Error("tiny instance should be exact")
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	sol, err := Solve(Problem{})
+	if err != nil || sol.Cost != 0 {
+		t.Errorf("empty problem: %v cost=%g", err, sol.Cost)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		Cost: [][]float64{{1, 1}},
+		Size: []int{10},
+		Cap:  []int{5, 5},
+	}
+	if _, err := Solve(p); err != ErrInfeasible {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	if _, err := GreedySolve(p); err != ErrInfeasible {
+		t.Errorf("greedy: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveBadShape(t *testing.T) {
+	p := Problem{Cost: [][]float64{{1}}, Size: []int{1, 2}, Cap: []int{5}}
+	if _, err := Solve(p); err == nil {
+		t.Error("bad shape accepted")
+	}
+	p2 := Problem{Cost: [][]float64{{1, 2}, {1}}, Size: []int{1, 1}, Cap: []int{5, 5}}
+	if _, err := Solve(p2); err == nil {
+		t.Error("ragged costs accepted")
+	}
+}
+
+// bruteForce enumerates all assignments for small instances.
+func bruteForce(p Problem) (float64, bool) {
+	n, m := len(p.Cost), len(p.Cap)
+	best := math.Inf(1)
+	assign := make([]int, n)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			rem := append([]int(nil), p.Cap...)
+			var cost float64
+			for s, b := range assign {
+				rem[b] -= p.Size[s]
+				if rem[b] < 0 {
+					return
+				}
+				cost += p.Cost[s][b]
+			}
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		for b := 0; b < m; b++ {
+			assign[k] = b
+			rec(k + 1)
+		}
+	}
+	rec(0)
+	return best, !math.IsInf(best, 1)
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(3)
+		p := Problem{Cost: make([][]float64, n), Size: make([]int, n), Cap: make([]int, m)}
+		for i := 0; i < n; i++ {
+			p.Cost[i] = make([]float64, m)
+			for j := 0; j < m; j++ {
+				p.Cost[i][j] = float64(1 + r.Intn(20))
+			}
+			p.Size[i] = 1 + r.Intn(8)
+		}
+		for j := 0; j < m; j++ {
+			p.Cap[j] = 4 + r.Intn(16)
+		}
+		want, feasible := bruteForce(p)
+		sol, err := Solve(p)
+		if !feasible {
+			if err != ErrInfeasible {
+				t.Fatalf("trial %d: expected infeasible, got %v", trial, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v (brute force found %g)", trial, err, want)
+		}
+		if math.Abs(sol.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: solve %g vs brute force %g", trial, sol.Cost, want)
+		}
+	}
+}
+
+func TestGreedyFeasibleAndBounded(t *testing.T) {
+	f := func(seeds []uint8) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		r := rand.New(rand.NewSource(int64(seeds[0])))
+		n := 1 + r.Intn(10)
+		m := 2 + r.Intn(3)
+		p := Problem{Cost: make([][]float64, n), Size: make([]int, n), Cap: make([]int, m)}
+		for i := 0; i < n; i++ {
+			p.Cost[i] = make([]float64, m)
+			for j := 0; j < m; j++ {
+				p.Cost[i][j] = float64(1 + r.Intn(9))
+			}
+			p.Size[i] = 1 + r.Intn(4)
+		}
+		for j := 0; j < m; j++ {
+			p.Cap[j] = 20 // ample
+		}
+		g, err := GreedySolve(p)
+		if err != nil {
+			return false
+		}
+		s, err := Solve(p)
+		if err != nil {
+			return false
+		}
+		// Greedy is feasible and never beats the optimum.
+		return g.Cost >= s.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRespectsCapacities(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(8)
+		m := 2 + r.Intn(3)
+		p := Problem{Cost: make([][]float64, n), Size: make([]int, n), Cap: make([]int, m)}
+		for i := 0; i < n; i++ {
+			p.Cost[i] = make([]float64, m)
+			for j := 0; j < m; j++ {
+				p.Cost[i][j] = r.Float64() * 10
+			}
+			p.Size[i] = 1 + r.Intn(5)
+		}
+		for j := 0; j < m; j++ {
+			p.Cap[j] = 3 + r.Intn(10)
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			continue
+		}
+		used := make([]int, m)
+		for s, b := range sol.Assign {
+			used[b] += p.Size[s]
+		}
+		for j := 0; j < m; j++ {
+			if used[j] > p.Cap[j] {
+				t.Fatalf("trial %d: bin %d over capacity (%d > %d)", trial, j, used[j], p.Cap[j])
+			}
+		}
+	}
+}
+
+func TestSolveLargeSymmetricTerminates(t *testing.T) {
+	// Many identical items: the node budget must kick in and return
+	// the greedy incumbent rather than hanging.
+	const n = 120
+	p := Problem{Cost: make([][]float64, n), Size: make([]int, n), Cap: []int{100, 200, 400, 1 << 20}}
+	for i := 0; i < n; i++ {
+		p.Cost[i] = []float64{2, 4, 8, 16}
+		p.Size[i] = 16
+	}
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost <= 0 {
+		t.Error("nonsense cost")
+	}
+	// Verify feasibility.
+	used := make([]int, 4)
+	for s, b := range sol.Assign {
+		used[b] += p.Size[s]
+	}
+	for j, u := range used {
+		if u > p.Cap[j] {
+			t.Errorf("bin %d over capacity", j)
+		}
+	}
+}

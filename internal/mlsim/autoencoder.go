@@ -1,0 +1,250 @@
+// Package mlsim implements the behaviour detectors of the §8.3
+// application study in pure Go: a Kitsune-style ensemble of
+// autoencoders (intrusion detection), a deep-autoencoder stand-in for
+// N-BaIoT (botnet detection), a decision tree for NPOD (covert
+// channel detection) and a nearest-centroid embedding classifier for
+// TF (website fingerprinting).
+//
+// The paper reuses the applications' original detectors (trained on
+// GPUs); these small models preserve the property Figure 11 tests —
+// that detectors consuming SuperFE's feature vectors reach the same
+// accuracy as detectors consuming exactly-computed features — without
+// a deep-learning framework.
+package mlsim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Autoencoder is a single-hidden-layer autoencoder trained with
+// plain SGD; anomaly score is reconstruction RMSE (Kitsune's score).
+type Autoencoder struct {
+	in, hidden int
+	w1         [][]float64 // hidden × in
+	b1         []float64
+	w2         [][]float64 // in × hidden
+	b2         []float64
+	lr         float64
+	// Normalisation bounds learned during training (min-max, as
+	// Kitsune normalises features online).
+	lo, hi []float64
+}
+
+// NewAutoencoder builds an in→hidden→in autoencoder. hidden is
+// typically ~0.75·in (Kitsune's ratio).
+func NewAutoencoder(in, hidden int, lr float64, rng *rand.Rand) *Autoencoder {
+	a := &Autoencoder{in: in, hidden: hidden, lr: lr}
+	limit := math.Sqrt(6.0 / float64(in+hidden))
+	a.w1 = make([][]float64, hidden)
+	for i := range a.w1 {
+		a.w1[i] = make([]float64, in)
+		for j := range a.w1[i] {
+			a.w1[i][j] = (rng.Float64()*2 - 1) * limit
+		}
+	}
+	a.w2 = make([][]float64, in)
+	for i := range a.w2 {
+		a.w2[i] = make([]float64, hidden)
+		for j := range a.w2[i] {
+			a.w2[i][j] = (rng.Float64()*2 - 1) * limit
+		}
+	}
+	a.b1 = make([]float64, hidden)
+	a.b2 = make([]float64, in)
+	a.lo = make([]float64, in)
+	a.hi = make([]float64, in)
+	for i := range a.lo {
+		a.lo[i] = math.Inf(1)
+		a.hi[i] = math.Inf(-1)
+	}
+	return a
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// normalize maps x into [0,1] per dimension using the online min-max
+// bounds; updateBounds widens them during training.
+func (a *Autoencoder) normalize(x []float64, update bool) []float64 {
+	out := make([]float64, a.in)
+	for i, v := range x {
+		if update {
+			if v < a.lo[i] {
+				a.lo[i] = v
+			}
+			if v > a.hi[i] {
+				a.hi[i] = v
+			}
+		}
+		span := a.hi[i] - a.lo[i]
+		if span <= 0 || math.IsInf(span, 0) {
+			out[i] = 0
+			continue
+		}
+		n := (v - a.lo[i]) / span
+		if n < 0 {
+			n = 0
+		}
+		if n > 1 {
+			n = 1
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// Train performs one SGD step on the sample and returns its RMSE
+// before the update (Kitsune trains online on the benign prefix).
+func (a *Autoencoder) Train(x []float64) float64 {
+	xn := a.normalize(x, true)
+	h := make([]float64, a.hidden)
+	for i := range h {
+		s := a.b1[i]
+		for j, v := range xn {
+			s += a.w1[i][j] * v
+		}
+		h[i] = sigmoid(s)
+	}
+	y := make([]float64, a.in)
+	for i := range y {
+		s := a.b2[i]
+		for j, v := range h {
+			s += a.w2[i][j] * v
+		}
+		y[i] = sigmoid(s)
+	}
+	// Output deltas (squared error, sigmoid derivative).
+	var mse float64
+	dOut := make([]float64, a.in)
+	for i := range y {
+		e := y[i] - xn[i]
+		mse += e * e
+		dOut[i] = e * y[i] * (1 - y[i])
+	}
+	// Hidden deltas.
+	dHid := make([]float64, a.hidden)
+	for j := range dHid {
+		var s float64
+		for i := range dOut {
+			s += dOut[i] * a.w2[i][j]
+		}
+		dHid[j] = s * h[j] * (1 - h[j])
+	}
+	// Updates.
+	for i := range a.w2 {
+		for j := range a.w2[i] {
+			a.w2[i][j] -= a.lr * dOut[i] * h[j]
+		}
+		a.b2[i] -= a.lr * dOut[i]
+	}
+	for i := range a.w1 {
+		for j := range a.w1[i] {
+			a.w1[i][j] -= a.lr * dHid[i] * xn[j]
+		}
+		a.b1[i] -= a.lr * dHid[i]
+	}
+	return math.Sqrt(mse / float64(a.in))
+}
+
+// Score returns the reconstruction RMSE without training.
+func (a *Autoencoder) Score(x []float64) float64 {
+	xn := a.normalize(x, false)
+	h := make([]float64, a.hidden)
+	for i := range h {
+		s := a.b1[i]
+		for j, v := range xn {
+			s += a.w1[i][j] * v
+		}
+		h[i] = sigmoid(s)
+	}
+	var mse float64
+	for i := 0; i < a.in; i++ {
+		s := a.b2[i]
+		for j, v := range h {
+			s += a.w2[i][j] * v
+		}
+		e := sigmoid(s) - xn[i]
+		mse += e * e
+	}
+	return math.Sqrt(mse / float64(a.in))
+}
+
+// KitsuneEnsemble is the two-tier detector of Mirsky et al.: the
+// feature vector is partitioned into small sub-vectors, each scored
+// by a small autoencoder; the sub-RMSEs feed an output autoencoder
+// whose RMSE is the final anomaly score.
+type KitsuneEnsemble struct {
+	groups  [][]int // feature indices per sub-AE
+	subs    []*Autoencoder
+	output  *Autoencoder
+	trained int
+}
+
+// KitsuneMaxGroup is Kitsune's m parameter: maximum sub-AE input
+// size.
+const KitsuneMaxGroup = 10
+
+// NewKitsuneEnsemble partitions dim features into contiguous groups
+// of at most KitsuneMaxGroup (the original clusters by correlation;
+// contiguous grouping keeps each granularity×λ block together, which
+// is the same intent) and builds the two tiers.
+func NewKitsuneEnsemble(dim int, rng *rand.Rand) (*KitsuneEnsemble, error) {
+	if dim <= 0 {
+		return nil, errors.New("mlsim: ensemble needs a positive feature dimension")
+	}
+	k := &KitsuneEnsemble{}
+	for start := 0; start < dim; start += KitsuneMaxGroup {
+		end := start + KitsuneMaxGroup
+		if end > dim {
+			end = dim
+		}
+		idx := make([]int, 0, end-start)
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
+		}
+		k.groups = append(k.groups, idx)
+		hidden := (len(idx)*3 + 3) / 4
+		if hidden < 2 {
+			hidden = 2
+		}
+		k.subs = append(k.subs, NewAutoencoder(len(idx), hidden, 0.1, rng))
+	}
+	outHidden := (len(k.groups)*3 + 3) / 4
+	if outHidden < 2 {
+		outHidden = 2
+	}
+	k.output = NewAutoencoder(len(k.groups), outHidden, 0.1, rng)
+	return k, nil
+}
+
+func (k *KitsuneEnsemble) slice(x []float64, g int) []float64 {
+	idx := k.groups[g]
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+// Train performs one online training step (benign traffic assumed).
+func (k *KitsuneEnsemble) Train(x []float64) {
+	sub := make([]float64, len(k.groups))
+	for g := range k.groups {
+		sub[g] = k.subs[g].Train(k.slice(x, g))
+	}
+	k.output.Train(sub)
+	k.trained++
+}
+
+// Score returns the ensemble anomaly score (output-tier RMSE).
+func (k *KitsuneEnsemble) Score(x []float64) float64 {
+	sub := make([]float64, len(k.groups))
+	for g := range k.groups {
+		sub[g] = k.subs[g].Score(k.slice(x, g))
+	}
+	return k.output.Score(sub)
+}
+
+// Trained returns the number of training samples consumed.
+func (k *KitsuneEnsemble) Trained() int { return k.trained }

@@ -1,0 +1,274 @@
+package mlsim
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour classifier (CUMUL's detector).
+type KNN struct {
+	K       int
+	samples [][]float64
+	labels  []int
+}
+
+// NewKNN builds an empty classifier.
+func NewKNN(k int) *KNN { return &KNN{K: k} }
+
+// Fit stores the training set.
+func (c *KNN) Fit(x [][]float64, y []int) error {
+	if len(x) != len(y) {
+		return errors.New("mlsim: KNN training shapes differ")
+	}
+	c.samples, c.labels = x, y
+	return nil
+}
+
+// Predict returns the majority label among the K nearest training
+// samples.
+func (c *KNN) Predict(x []float64) int {
+	type nd struct {
+		d float64
+		y int
+	}
+	ds := make([]nd, len(c.samples))
+	for i, s := range c.samples {
+		ds[i] = nd{euclid(x, s), c.labels[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	k := c.K
+	if k > len(ds) {
+		k = len(ds)
+	}
+	votes := map[int]int{}
+	for _, n := range ds[:k] {
+		votes[n.y]++
+	}
+	best, bestN := -1, -1
+	for y, n := range votes {
+		if n > bestN || (n == bestN && y < best) {
+			best, bestN = y, n
+		}
+	}
+	return best
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Centroid is a nearest-class-centroid classifier in L2-normalised
+// space — the stand-in for TF's triplet-network embedding (the
+// triplet net learns an embedding where classes cluster; for our
+// synthetic fingerprints the normalised feature space already
+// clusters, so centroids capture the same decision rule).
+type Centroid struct {
+	centroids map[int][]float64
+}
+
+// NewCentroid builds an empty classifier.
+func NewCentroid() *Centroid { return &Centroid{centroids: map[int][]float64{}} }
+
+// Fit averages the L2-normalised training samples per class.
+func (c *Centroid) Fit(x [][]float64, y []int) error {
+	if len(x) != len(y) {
+		return errors.New("mlsim: centroid training shapes differ")
+	}
+	counts := map[int]int{}
+	for i, v := range x {
+		n := l2norm(v)
+		if c.centroids[y[i]] == nil {
+			c.centroids[y[i]] = make([]float64, len(n))
+		}
+		acc := c.centroids[y[i]]
+		for j := range n {
+			acc[j] += n[j]
+		}
+		counts[y[i]]++
+	}
+	for y, acc := range c.centroids {
+		for j := range acc {
+			acc[j] /= float64(counts[y])
+		}
+	}
+	return nil
+}
+
+// Predict returns the class with the nearest centroid.
+func (c *Centroid) Predict(x []float64) int {
+	n := l2norm(x)
+	best, bestD := -1, math.Inf(1)
+	// Deterministic iteration: collect and sort class ids.
+	ids := make([]int, 0, len(c.centroids))
+	for y := range c.centroids {
+		ids = append(ids, y)
+	}
+	sort.Ints(ids)
+	for _, y := range ids {
+		if d := euclid(n, c.centroids[y]); d < bestD {
+			best, bestD = y, d
+		}
+	}
+	return best
+}
+
+func l2norm(v []float64) []float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s == 0 {
+		return append([]float64(nil), v...)
+	}
+	s = math.Sqrt(s)
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x / s
+	}
+	return out
+}
+
+// DecisionTree is a CART-style binary classification tree (NPOD's
+// detector).
+type DecisionTree struct {
+	MaxDepth int
+	MinLeaf  int
+	root     *treeNode
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	leafLabel int
+	isLeaf    bool
+}
+
+// NewDecisionTree builds an untrained tree.
+func NewDecisionTree(maxDepth, minLeaf int) *DecisionTree {
+	return &DecisionTree{MaxDepth: maxDepth, MinLeaf: minLeaf}
+}
+
+// Fit grows the tree by Gini impurity.
+func (t *DecisionTree) Fit(x [][]float64, y []int) error {
+	if len(x) != len(y) || len(x) == 0 {
+		return errors.New("mlsim: tree training shapes invalid")
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(x, y, idx, 0)
+	return nil
+}
+
+func majority(y []int, idx []int) int {
+	votes := map[int]int{}
+	for _, i := range idx {
+		votes[y[i]]++
+	}
+	best, bestN := 0, -1
+	for lbl, n := range votes {
+		if n > bestN || (n == bestN && lbl < best) {
+			best, bestN = lbl, n
+		}
+	}
+	return best
+}
+
+func gini(y []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	votes := map[int]int{}
+	for _, i := range idx {
+		votes[y[i]]++
+	}
+	g := 1.0
+	for _, n := range votes {
+		p := float64(n) / float64(len(idx))
+		g -= p * p
+	}
+	return g
+}
+
+func (t *DecisionTree) grow(x [][]float64, y []int, idx []int, depth int) *treeNode {
+	if depth >= t.MaxDepth || len(idx) <= t.MinLeaf || gini(y, idx) == 0 {
+		return &treeNode{isLeaf: true, leafLabel: majority(y, idx)}
+	}
+	nFeat := len(x[idx[0]])
+	bestGain, bestF := 0.0, -1
+	var bestThr float64
+	parent := gini(y, idx)
+	for f := 0; f < nFeat; f++ {
+		// Candidate thresholds: quartiles of the feature values.
+		vals := make([]float64, len(idx))
+		for i, j := range idx {
+			vals[i] = x[j][f]
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.25, 0.5, 0.75} {
+			thr := vals[int(q*float64(len(vals)-1))]
+			var l, r []int
+			for _, j := range idx {
+				if x[j][f] <= thr {
+					l = append(l, j)
+				} else {
+					r = append(r, j)
+				}
+			}
+			if len(l) == 0 || len(r) == 0 {
+				continue
+			}
+			w := float64(len(l)) / float64(len(idx))
+			gain := parent - w*gini(y, l) - (1-w)*gini(y, r)
+			if gain > bestGain {
+				bestGain, bestF, bestThr = gain, f, thr
+			}
+		}
+	}
+	if bestF < 0 {
+		return &treeNode{isLeaf: true, leafLabel: majority(y, idx)}
+	}
+	var l, r []int
+	for _, j := range idx {
+		if x[j][bestF] <= bestThr {
+			l = append(l, j)
+		} else {
+			r = append(r, j)
+		}
+	}
+	return &treeNode{
+		feature:   bestF,
+		threshold: bestThr,
+		left:      t.grow(x, y, l, depth+1),
+		right:     t.grow(x, y, r, depth+1),
+	}
+}
+
+// Predict classifies one sample.
+func (t *DecisionTree) Predict(x []float64) int {
+	n := t.root
+	for n != nil && !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0
+	}
+	return n.leafLabel
+}

@@ -1,0 +1,99 @@
+package nicsim
+
+import (
+	"fmt"
+	"sync"
+
+	"superfe/internal/feature"
+	"superfe/internal/gpv"
+	"superfe/internal/policy"
+)
+
+// Cluster fans the switch→NIC message stream across multiple Runtime
+// shards, modelling the NBI's per-IP packet distribution to cores
+// (§6.2 "we manipulate the ingress Network Block Interface (NBI) of
+// NFP to distribute packets to cores on a per-IP basis"). Because
+// MGPVs for one CG group always hash to the same shard, shards share
+// no state and run in parallel without locks — the property behind
+// Figure 16's linear scaling.
+//
+// FG table updates are broadcast to every shard (each core keeps a
+// synchronized copy, as each NIC does in the paper).
+type Cluster struct {
+	shards []*Runtime
+	chans  []chan gpv.Message
+	wg     sync.WaitGroup
+	mu     sync.Mutex // serialises the shared sink
+}
+
+// NewCluster builds n parallel shards of the plan. The sink may be
+// called from any shard; calls are serialised.
+func NewCluster(cfg Config, plan *policy.Plan, n int, sink feature.Sink) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("nicsim: cluster needs at least one shard, got %d", n)
+	}
+	c := &Cluster{}
+	locked := func(v feature.Vector) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		sink(v)
+	}
+	for i := 0; i < n; i++ {
+		rt, err := NewRuntime(cfg, plan, locked)
+		if err != nil {
+			return nil, err
+		}
+		c.shards = append(c.shards, rt)
+		ch := make(chan gpv.Message, 1024)
+		c.chans = append(c.chans, ch)
+		c.wg.Add(1)
+		go func(rt *Runtime, ch chan gpv.Message) {
+			defer c.wg.Done()
+			for m := range ch {
+				rt.Process(m)
+			}
+		}(rt, ch)
+	}
+	return c, nil
+}
+
+// Process routes one message: MGPVs to the shard owning their CG
+// group (per-IP hash), FG updates to every shard.
+func (c *Cluster) Process(m gpv.Message) {
+	if m.FG != nil {
+		for _, ch := range c.chans {
+			ch <- m
+		}
+		return
+	}
+	if m.MGPV != nil {
+		idx := int(m.MGPV.Hash % uint32(len(c.chans)))
+		c.chans[idx] <- m
+	}
+}
+
+// Close drains the shards, flushes per-group vectors and returns the
+// merged stats.
+func (c *Cluster) Close() RuntimeStats {
+	for _, ch := range c.chans {
+		close(ch)
+	}
+	c.wg.Wait()
+	var total RuntimeStats
+	for _, rt := range c.shards {
+		rt.Flush()
+		s := rt.Stats()
+		total.Msgs += s.Msgs
+		total.MGPVs += s.MGPVs
+		total.FGUpdates += s.FGUpdates
+		total.Cells += s.Cells
+		total.UnknownFG += s.UnknownFG
+		total.Vectors += s.Vectors
+		total.GroupsLive += s.GroupsLive
+		total.DRAMEntries += s.DRAMEntries
+	}
+	return total
+}
+
+// Shards returns the number of shards.
+func (c *Cluster) Shards() int { return len(c.shards) }

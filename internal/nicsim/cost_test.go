@@ -1,0 +1,194 @@
+package nicsim
+
+import (
+	"testing"
+
+	"superfe/internal/flowkey"
+	"superfe/internal/policy"
+	"superfe/internal/streaming"
+)
+
+func kitsuneLikePlan(t *testing.T) *policy.Plan {
+	t.Helper()
+	b := policy.New("k").
+		GroupBy(flowkey.GranHost).
+		Map("hs", policy.SrcField(0), policy.MapDirection)
+	for _, l := range []float64{5, 1, 0.1} {
+		b.Reduce("hs",
+			policy.RFDamped(streaming.FDWeight, l),
+			policy.RFDamped(streaming.FDMean, l),
+			policy.RFDamped(streaming.FDStd, l)).
+			CollectPerPacket()
+	}
+	return compile(t, b)
+}
+
+func TestPlacementFeasibleForAllShapes(t *testing.T) {
+	cfg := DefaultConfig()
+	plans := []*policy.Plan{
+		compile(t, statsPolicy()),
+		kitsuneLikePlan(t),
+	}
+	for _, plan := range plans {
+		pl, err := Place(cfg, plan.NIC.StateSpecs)
+		if err != nil {
+			t.Fatalf("%s: %v", plan.Policy.Name(), err)
+		}
+		if len(pl.Level) != len(plan.NIC.StateSpecs) {
+			t.Errorf("placement incomplete")
+		}
+		if pl.CostPerPkt <= 0 {
+			t.Errorf("zero placement cost")
+		}
+	}
+}
+
+func TestPlacementPrefersFastMemoryForHotStates(t *testing.T) {
+	cfg := DefaultConfig()
+	specs := []policy.StateSpec{
+		{Name: "hot", Bytes: 8, AccessPerPkt: 10, Gran: flowkey.GranFlow},
+		{Name: "cold", Bytes: 8, AccessPerPkt: 0.1, Gran: flowkey.GranFlow},
+	}
+	pl, err := Place(cfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Level[0] > pl.Level[1] {
+		t.Errorf("hot state placed further (%s) than cold (%s)", pl.Level[0], pl.Level[1])
+	}
+	if pl.Level[0] != MemCLS {
+		t.Errorf("hot 8B state should sit in CLS, got %s", pl.Level[0])
+	}
+}
+
+func TestPlacementBeatsAllEMEM(t *testing.T) {
+	cfg := DefaultConfig()
+	plan := compile(t, statsPolicy())
+	opt, err := Place(cfg, plan.NIC.StateSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := PlaceAllEMEM(cfg, plan.NIC.StateSpecs)
+	if opt.CostPerPkt >= base.CostPerPkt {
+		t.Errorf("ILP placement (%g) not better than all-EMEM (%g)", opt.CostPerPkt, base.CostPerPkt)
+	}
+}
+
+func TestPlacementEmpty(t *testing.T) {
+	pl, err := Place(DefaultConfig(), nil)
+	if err != nil || len(pl.Level) != 0 {
+		t.Errorf("empty placement: %v %v", pl, err)
+	}
+}
+
+func TestCostModelOptimizationOrdering(t *testing.T) {
+	plan := kitsuneLikePlan(t)
+	cycles := func(opt Optimizations) float64 {
+		cfg := DefaultConfig()
+		cfg.Opt = opt
+		pl, err := Place(cfg, plan.NIC.StateSpecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewCostModel(cfg, plan.NIC, pl).CyclesPerCell()
+	}
+	none := cycles(Optimizations{})
+	hash := cycles(Optimizations{ReuseSwitchHash: true})
+	thread := cycles(Optimizations{ReuseSwitchHash: true, Threading: true})
+	all := cycles(AllOptimizations())
+	if !(none > hash && hash > thread && thread > all) {
+		t.Errorf("each optimization must reduce cycles: %g %g %g %g", none, hash, thread, all)
+	}
+	// Figure 17's headline: division elimination is the single
+	// largest win.
+	if (thread - all) < (none - thread) {
+		t.Errorf("division elimination (%g) should save more than the other opts combined (%g)",
+			thread-all, none-thread)
+	}
+	if none/all < 2 {
+		t.Errorf("total speedup %gx implausibly low", none/all)
+	}
+}
+
+func TestCellsPerSecondLinearScaling(t *testing.T) {
+	plan := compile(t, statsPolicy())
+	cfg := TwoNICConfig()
+	pl, err := Place(cfg, plan.NIC.StateSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := NewCostModel(cfg, plan.NIC, pl)
+	r1 := cm.CellsPerSecond(1)
+	r60 := cm.CellsPerSecond(60)
+	if r60/r1 < 59.5 || r60/r1 > 60.5 {
+		t.Errorf("scaling 1→60 cores = %gx, want ~60x", r60/r1)
+	}
+	// Core count clamps at the configured total.
+	if cm.CellsPerSecond(10000) != cm.CellsPerSecond(cfg.Cores()) {
+		t.Error("core clamp broken")
+	}
+	if cm.CellsPerSecond(0) != cm.CellsPerSecond(1) {
+		t.Error("zero cores should clamp to 1")
+	}
+}
+
+func TestThroughputGbps(t *testing.T) {
+	plan := compile(t, statsPolicy())
+	cfg := DefaultConfig()
+	pl, _ := Place(cfg, plan.NIC.StateSpecs)
+	cm := NewCostModel(cfg, plan.NIC, pl)
+	g := cm.ThroughputGbps(60, 739)
+	if g <= 0 {
+		t.Errorf("throughput = %g", g)
+	}
+	// Larger packets → proportionally more Gbps for the same cells/s.
+	if cm.ThroughputGbps(60, 1478)/g < 1.99 {
+		t.Error("throughput not proportional to packet size")
+	}
+}
+
+func TestNaiveCostExceedsStreaming(t *testing.T) {
+	plan := kitsuneLikePlan(t)
+	cfg := DefaultConfig()
+	pl, _ := Place(cfg, plan.NIC.StateSpecs)
+	cm := NewCostModel(cfg, plan.NIC, pl)
+	if cm.NaiveCyclesPerCell(50) <= cm.CyclesPerCell() {
+		t.Errorf("naive (%g) should cost more than streaming (%g)",
+			cm.NaiveCyclesPerCell(50), cm.CyclesPerCell())
+	}
+}
+
+func TestEstimateMemoryShape(t *testing.T) {
+	cfg := DefaultConfig()
+	plan := kitsuneLikePlan(t)
+	pl, err := Place(cfg, plan.NIC.StateSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := EstimateMemory(cfg, plan.NIC.StateSpecs, pl, 16384)
+	if mem.Overall <= 0 || mem.Overall > 1 {
+		t.Errorf("overall = %g", mem.Overall)
+	}
+	for m, f := range mem.PerLevel {
+		if f < 0 || f > 1 {
+			t.Errorf("level %s fraction %g", MemLevel(m), f)
+		}
+	}
+	// A bigger plan must not use less memory.
+	small := compile(t, policy.New("s").GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RF(streaming.FSum)).Collect())
+	plS, _ := Place(cfg, small.NIC.StateSpecs)
+	memS := EstimateMemory(cfg, small.NIC.StateSpecs, plS, 16384)
+	if memS.Overall > mem.Overall {
+		t.Errorf("small plan uses more memory (%g) than large (%g)", memS.Overall, mem.Overall)
+	}
+}
+
+func TestMemLevelString(t *testing.T) {
+	names := map[MemLevel]string{MemCLS: "CLS", MemCTM: "CTM", MemIMEM: "IMEM", MemEMEM: "EMEM"}
+	for l, want := range names {
+		if l.String() != want {
+			t.Errorf("%d = %q", l, l.String())
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package nicsim
+
+import (
+	"fmt"
+
+	"superfe/internal/ilp"
+	"superfe/internal/policy"
+)
+
+// Placement is the solved group-table layout: which memory level
+// holds each policy state (§6.2 Equations 3-5).
+type Placement struct {
+	// Level[i] is the memory level of plan state i.
+	Level []MemLevel
+	// Indirect[i] is true when the state is too large to live inline
+	// in a group-table entry: the entry stores an 8-byte handle and
+	// the bulk lives in the level's backing storage, costing one
+	// extra access.
+	Indirect []bool
+	// CostPerPkt is the ILP objective value: expected state-access
+	// latency cycles per packet before threading hides it.
+	CostPerPkt float64
+	// ILPNodes is the branch-and-bound node count (diagnostics).
+	ILPNodes int
+}
+
+// handleBytes is the inline footprint of an indirect state.
+const handleBytes = 8
+
+// keyBytes is the group key occupying the front of every table entry
+// (the paper's example: "a 4-byte IP address and its states").
+const keyBytes = 4
+
+// Place solves the placement ILP for the plan's states, following
+// the §6.2 formulation with one adaptation: Eq. 5's hard data-bus
+// constraint (all of one level's states served by a single 64-byte
+// transaction) is feasible only for small policies, so the capacity
+// of each level is its per-group byte budget — level bytes divided by
+// the group-table entry count — and states wider than one bus beat
+// pay a doubled access cost instead of being forbidden. EMEM is
+// backed by the card's DRAM, so its budget is effectively unbounded
+// and the ILP always has a solution; the objective still pushes the
+// hottest states into the near memories, which is the behaviour the
+// paper's placement achieves.
+func Place(cfg Config, specs []policy.StateSpec) (Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return Placement{}, err
+	}
+	n := len(specs)
+	if n == 0 {
+		return Placement{}, nil
+	}
+	beat := cfg.BusBytes / cfg.TableWidth // bytes served per bus beat
+
+	prob := ilp.Problem{
+		Cost: make([][]float64, n),
+		Size: make([]int, n),
+		Cap:  make([]int, NumMemLevels),
+	}
+	indirect := make([]bool, n)
+	entries := cfg.GroupSlots * cfg.TableWidth
+	for m := 0; m < int(NumMemLevels); m++ {
+		capBytes := cfg.Memories[m].Bytes
+		if cfg.Memories[m].IslandLocal {
+			capBytes *= cfg.Islands
+		}
+		perGroup := capBytes / entries
+		if MemLevel(m) == MemEMEM {
+			// DRAM-backed: effectively unbounded per-group budget.
+			perGroup = 1 << 20
+		}
+		prob.Cap[m] = perGroup - keyBytes
+		if prob.Cap[m] < 0 {
+			prob.Cap[m] = 0
+		}
+	}
+	for i, s := range specs {
+		prob.Cost[i] = make([]float64, NumMemLevels)
+		size := s.Bytes
+		if size > beat-keyBytes {
+			indirect[i] = true
+		}
+		prob.Size[i] = size
+		for m := 0; m < int(NumMemLevels); m++ {
+			lat := float64(cfg.Memories[m].LatencyCyc)
+			cost := s.AccessPerPkt * lat
+			if indirect[i] {
+				cost *= 2 // extra bus beat(s) per access
+			}
+			prob.Cost[i][m] = cost
+		}
+	}
+	sol, err := ilp.Solve(prob)
+	if err != nil {
+		return Placement{}, fmt.Errorf("nicsim: placement ILP: %w", err)
+	}
+	p := Placement{
+		Level:      make([]MemLevel, n),
+		Indirect:   indirect,
+		CostPerPkt: sol.Cost,
+		ILPNodes:   sol.Nodes,
+	}
+	for i, b := range sol.Assign {
+		p.Level[i] = MemLevel(b)
+	}
+	return p, nil
+}
+
+// PlaceAllEMEM is the ablation baseline: every state in external
+// memory, as an unoptimized port would do.
+func PlaceAllEMEM(cfg Config, specs []policy.StateSpec) Placement {
+	n := len(specs)
+	p := Placement{
+		Level:    make([]MemLevel, n),
+		Indirect: make([]bool, n),
+	}
+	budget := cfg.BusBytes/cfg.TableWidth - keyBytes
+	for i, s := range specs {
+		p.Level[i] = MemEMEM
+		lat := float64(cfg.Memories[MemEMEM].LatencyCyc)
+		cost := s.AccessPerPkt * lat
+		if s.Bytes > budget {
+			p.Indirect[i] = true
+			cost *= 2
+		}
+		p.CostPerPkt += cost
+	}
+	return p
+}
+
+// MemoryUsage reports per-level and total utilization for Table 4's
+// "SmartNIC Memory" column: the group tables (slots × width ×
+// entry bytes) plus the bulk storage of indirect states, scaled by
+// the expected resident group count.
+type MemoryUsage struct {
+	PerLevel [NumMemLevels]float64 // fraction of each level
+	Overall  float64               // used bytes / total bytes
+}
+
+// EstimateMemory computes utilization for a placement with the given
+// expected number of resident groups (the switch's CG slot count is
+// the natural choice: the NIC tracks what the switch batches).
+func EstimateMemory(cfg Config, specs []policy.StateSpec, pl Placement, groups int) MemoryUsage {
+	var usedBytes [NumMemLevels]int
+	// Entry bytes per level: key + the states placed there.
+	var entryState [NumMemLevels]int
+	for i, s := range specs {
+		entryState[pl.Level[i]] += s.Bytes
+	}
+	entries := cfg.GroupSlots * cfg.TableWidth
+	if groups > entries {
+		// DRAM overflow chains hold the excess groups; on-card usage
+		// is bounded by the table geometry.
+		groups = entries
+	}
+	for m := 0; m < int(NumMemLevels); m++ {
+		if entryState[m] > 0 {
+			usedBytes[m] = entries * (keyBytes + entryState[m])
+		}
+	}
+	var u MemoryUsage
+	total, used := 0, 0
+	for m := 0; m < int(NumMemLevels); m++ {
+		capBytes := cfg.Memories[m].Bytes
+		if cfg.Memories[m].IslandLocal {
+			capBytes *= cfg.Islands
+		}
+		f := float64(usedBytes[m]) / float64(capBytes)
+		if f > 1 {
+			f = 1
+		}
+		u.PerLevel[m] = f
+		total += capBytes
+		b := usedBytes[m]
+		if b > capBytes {
+			b = capBytes
+		}
+		used += b
+	}
+	if total > 0 {
+		u.Overall = float64(used) / float64(total)
+	}
+	return u
+}

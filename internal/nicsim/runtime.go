@@ -1,0 +1,522 @@
+package nicsim
+
+import (
+	"fmt"
+	"sort"
+
+	"superfe/internal/feature"
+	"superfe/internal/flowkey"
+	"superfe/internal/gpv"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/streaming"
+)
+
+// Runtime is the functional FE-NIC engine: it consumes the switch→NIC
+// message stream (FG table updates and evicted MGPVs), maintains
+// per-group state with the compiled plan's map/reduce stages, and
+// emits feature vectors. One Runtime models one core's shard; the
+// Cluster type fans a message stream across runtimes the way the NBI
+// distributes packets per-IP.
+type Runtime struct {
+	cfg  Config
+	plan *policy.Plan
+
+	// FG key table, synchronised from the switch (§5.1). Indexed by
+	// the FGUpdate index; sized on first use.
+	fgTable []fgSlot
+
+	// programs, one per granularity in the chain, in chain order.
+	programs []*program
+
+	groups map[flowkey.Key]*group
+	sink   feature.Sink
+	stats  RuntimeStats
+}
+
+type fgSlot struct {
+	key flowkey.FiveTuple
+	set bool
+}
+
+// RuntimeStats aggregates the NIC-side counters.
+type RuntimeStats struct {
+	Msgs        uint64
+	MGPVs       uint64
+	FGUpdates   uint64
+	Cells       uint64
+	UnknownFG   uint64 // cells whose FG index had no synced key (dropped)
+	Vectors     uint64
+	GroupsLive  int
+	DRAMEntries int // group-table entries past the fixed chain (modelled)
+}
+
+// instruction is one compiled NIC stage for one granularity.
+type instruction struct {
+	op policy.Op
+	// map: destination env slot, source resolution, scratch slot.
+	dstSlot    int
+	src        valueRef
+	scratchIdx int
+	// reduce: source resolution and the group-local reducer indices,
+	// one per ReduceSpec.
+	reducerIdx []int
+	// collect/synthesize bookkeeping: index of the reduce instruction
+	// whose output the collect emits (pre-resolved in emit plans).
+}
+
+// valueRef resolves a value for a cell: either a batched metadata
+// field (by position in the cell's Values) or a mapped env slot.
+type valueRef struct {
+	fromEnv bool
+	idx     int
+}
+
+// program is the compiled stage list for one granularity.
+type program struct {
+	gran        flowkey.Granularity
+	instrs      []instruction
+	numEnv      int
+	numScratch  int
+	reducerSpec []policy.ReduceSpec // constructors for group.reducers
+	// emits lists, per collect op in policy order at this
+	// granularity, which reducer range it snapshots and any
+	// synthesize to apply.
+	emits []emitSpec
+}
+
+type emitSpec struct {
+	reducers  []int // group reducer indices to snapshot, in order
+	synth     []policy.Op
+	perPacket bool
+}
+
+// group is the per-(granularity, key) state.
+type group struct {
+	key      flowkey.Key
+	reducers []streaming.Reducer
+	scratch  []scratchCell
+	lastTS   uint32
+	cells    uint64
+}
+
+type scratchCell struct {
+	v   int64
+	set bool
+}
+
+// NewRuntime compiles the plan into per-granularity programs.
+func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("nicsim: nil sink")
+	}
+	r := &Runtime{
+		cfg:     cfg,
+		plan:    plan,
+		fgTable: make([]fgSlot, 1<<16),
+		groups:  make(map[flowkey.Key]*group),
+		sink:    sink,
+	}
+	// Field position index within cells.
+	fieldPos := map[packet.FieldName]int{}
+	for i, f := range plan.Switch.MetadataFields {
+		fieldPos[f] = i
+	}
+	for _, g := range plan.Switch.Chain {
+		pr, err := compileProgram(plan, g, fieldPos)
+		if err != nil {
+			return nil, err
+		}
+		r.programs = append(r.programs, pr)
+	}
+	return r, nil
+}
+
+// compileProgram lowers the ops at granularity g into an instruction
+// list with resolved slots.
+func compileProgram(plan *policy.Plan, g flowkey.Granularity, fieldPos map[packet.FieldName]int) (*program, error) {
+	pr := &program{gran: g}
+	envSlot := map[string]int{}
+	resolve := func(name string) (valueRef, error) {
+		if s, ok := envSlot[name]; ok {
+			return valueRef{fromEnv: true, idx: s}, nil
+		}
+		if f, ok := policy.BuiltinField(name); ok {
+			pos, ok := fieldPos[f]
+			if !ok {
+				return valueRef{}, fmt.Errorf("nicsim: field %s not batched in MGPV cells", f)
+			}
+			return valueRef{idx: pos}, nil
+		}
+		return valueRef{}, fmt.Errorf("nicsim: unresolved key %q", name)
+	}
+	var pendingEmit *emitSpec
+	flushEmit := func(perPacket bool) {
+		if pendingEmit != nil {
+			pendingEmit.perPacket = perPacket
+			pr.emits = append(pr.emits, *pendingEmit)
+			pendingEmit = nil
+		}
+	}
+	for _, op := range plan.Policy.Ops() {
+		if op.Kind == policy.OpGroupBy || op.Kind == policy.OpFilter {
+			continue // switch-side
+		}
+		if op.Gran != g {
+			continue
+		}
+		switch op.Kind {
+		case policy.OpMap:
+			ins := instruction{op: op, dstSlot: len(envSlot)}
+			envSlot[op.Dst] = ins.dstSlot
+			pr.numEnv++
+			switch op.Src.Kind {
+			case policy.SourceField:
+				pos, ok := fieldPos[op.Src.Field]
+				if !ok {
+					return nil, fmt.Errorf("nicsim: field %s not batched", op.Src.Field)
+				}
+				ins.src = valueRef{idx: pos}
+			case policy.SourceKey:
+				ref, err := resolve(op.Src.Key)
+				if err != nil {
+					return nil, err
+				}
+				ins.src = ref
+			}
+			switch op.MapF {
+			case policy.MapIPT, policy.MapSpeed:
+				ins.scratchIdx = pr.numScratch
+				pr.numScratch++
+			case policy.MapBurst:
+				// Two scratch slots: last timestamp + burst counter.
+				ins.scratchIdx = pr.numScratch
+				pr.numScratch += 2
+			default:
+				ins.scratchIdx = -1
+			}
+			pr.instrs = append(pr.instrs, ins)
+		case policy.OpReduce:
+			ref, err := resolve(op.ReduceSrc)
+			if err != nil {
+				return nil, err
+			}
+			ins := instruction{op: op, src: ref}
+			for _, rf := range op.Reducers {
+				ins.reducerIdx = append(ins.reducerIdx, len(pr.reducerSpec))
+				pr.reducerSpec = append(pr.reducerSpec, rf)
+			}
+			pr.instrs = append(pr.instrs, ins)
+			if pendingEmit == nil {
+				pendingEmit = &emitSpec{}
+			}
+			pendingEmit.reducers = append(pendingEmit.reducers, ins.reducerIdx...)
+		case policy.OpSynthesize:
+			if pendingEmit == nil {
+				return nil, fmt.Errorf("nicsim: synthesize without pending reduce at %s", g)
+			}
+			pendingEmit.synth = append(pendingEmit.synth, op)
+		case policy.OpCollect:
+			flushEmit(op.PerPacket)
+		}
+	}
+	flushEmit(false)
+	return pr, nil
+}
+
+// newGroup allocates a group's state for a program.
+func (r *Runtime) newGroup(pr *program, key flowkey.Key) *group {
+	g := &group{
+		key:      key,
+		reducers: make([]streaming.Reducer, len(pr.reducerSpec)),
+		scratch:  make([]scratchCell, pr.numScratch),
+	}
+	for i, rf := range pr.reducerSpec {
+		if r.cfg.Naive {
+			g.reducers[i] = streaming.NewNaive(rf.Func, rf.Params)
+		} else {
+			red, err := streaming.New(rf.Func, rf.Params)
+			if err != nil {
+				// Validated at Build/Compile; unreachable.
+				panic(fmt.Sprintf("nicsim: reducer %s: %v", rf.Func, err))
+			}
+			g.reducers[i] = red
+		}
+	}
+	return g
+}
+
+// Stats returns a copy of the runtime counters with live-group and
+// modelled DRAM-overflow numbers refreshed.
+func (r *Runtime) Stats() RuntimeStats {
+	s := r.stats
+	s.GroupsLive = len(r.groups)
+	capacity := r.cfg.GroupSlots * r.cfg.TableWidth
+	if over := len(r.groups) - capacity; over > 0 {
+		s.DRAMEntries = over
+	}
+	return s
+}
+
+// StateBytes sums the live per-group reducer state — the Figure 15
+// memory-consumption metric.
+func (r *Runtime) StateBytes() int {
+	total := 0
+	for _, g := range r.groups {
+		for _, red := range g.reducers {
+			total += red.StateBytes()
+		}
+		total += 16 * len(g.scratch)
+	}
+	return total
+}
+
+// Process consumes one switch→NIC message.
+func (r *Runtime) Process(m gpv.Message) {
+	r.stats.Msgs++
+	switch {
+	case m.FG != nil:
+		r.fgTable[m.FG.Index] = fgSlot{key: m.FG.Key, set: true}
+		r.stats.FGUpdates++
+	case m.MGPV != nil:
+		r.stats.MGPVs++
+		r.processMGPV(m.MGPV)
+	}
+}
+
+// processMGPV traverses the vector's cells, splitting the CG batch
+// back into every granularity of the chain via the FG keys (§5.1)
+// and running the compiled stages.
+func (r *Runtime) processMGPV(v *gpv.MGPV) {
+	single := len(r.programs) == 1 && r.plan.Switch.CG == r.plan.Switch.FG
+	for ci := range v.Cells {
+		cell := &v.Cells[ci]
+		r.stats.Cells++
+		// Reconstruct the packet's tuple orientation from the FG key
+		// and direction bit.
+		var tuple flowkey.FiveTuple
+		if single {
+			tuple = v.CG.Tuple
+			if !cell.Forward {
+				tuple = tuple.Reverse()
+			}
+		} else {
+			slot := r.fgTable[cell.FGIndex]
+			if !slot.set {
+				r.stats.UnknownFG++
+				continue
+			}
+			tuple = slot.key
+			if !cell.Forward {
+				tuple = tuple.Reverse()
+			}
+		}
+		var perPacketVals []float64
+		var perPacketEmit bool
+		for _, pr := range r.programs {
+			key, fwd := flowkey.KeyFor(pr.gran, tuple)
+			g, ok := r.groups[key]
+			if !ok {
+				g = r.newGroup(pr, key)
+				r.groups[key] = g
+			}
+			vals, emitted := r.runCell(pr, g, cell, fwd)
+			if emitted {
+				perPacketEmit = true
+				perPacketVals = append(perPacketVals, vals...)
+			}
+		}
+		if perPacketEmit {
+			fgKey, _ := flowkey.KeyFor(r.plan.Switch.FG, tuple)
+			r.emitVector(fgKey, r.cellTimestamp(cell), perPacketVals)
+		}
+	}
+}
+
+// cellTimestamp extracts the timestamp metadata if batched, else 0.
+func (r *Runtime) cellTimestamp(cell *gpv.Cell) int64 {
+	for i, f := range r.plan.Switch.MetadataFields {
+		if f == packet.FieldTimestamp {
+			return int64(cell.Values[i])
+		}
+	}
+	return 0
+}
+
+// runCell executes one granularity's program over one cell. It
+// returns the concatenated per-packet collect values when the
+// program has per-packet emits.
+func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool) ([]float64, bool) {
+	env := make([]int64, pr.numEnv)
+	load := func(ref valueRef) int64 {
+		if ref.fromEnv {
+			return env[ref.idx]
+		}
+		return int64(cell.Values[ref.idx])
+	}
+	ts := uint32(0)
+	for i, f := range r.plan.Switch.MetadataFields {
+		if f == packet.FieldTimestamp {
+			ts = cell.Values[i]
+		}
+	}
+	for i := range pr.instrs {
+		ins := &pr.instrs[i]
+		switch ins.op.Kind {
+		case policy.OpMap:
+			var out int64
+			switch ins.op.MapF {
+			case policy.MapOne:
+				out = 1
+			case policy.MapIdentity:
+				out = load(ins.src)
+			case policy.MapDirection:
+				out = load(ins.src)
+				if !fwd {
+					out = -out
+				}
+			case policy.MapIPT:
+				sc := &g.scratch[ins.scratchIdx]
+				cur := load(ins.src)
+				if sc.set {
+					// 32-bit wrapping difference, matching the
+					// switch's 32-bit timestamp metadata.
+					out = int64(uint32(cur) - uint32(sc.v))
+				}
+				sc.v, sc.set = cur, true
+			case policy.MapSpeed:
+				sc := &g.scratch[ins.scratchIdx]
+				size := load(ins.src)
+				var dt int64
+				if sc.set {
+					dt = int64(ts - uint32(sc.v))
+				}
+				sc.v, sc.set = int64(ts), true
+				if dt > 0 {
+					out = size * 1e9 / dt // bytes per second
+				}
+			case policy.MapBurst:
+				last := &g.scratch[ins.scratchIdx]
+				count := &g.scratch[ins.scratchIdx+1]
+				cur := load(ins.src)
+				gap := int64(0)
+				if last.set {
+					gap = int64(uint32(cur) - uint32(last.v))
+				}
+				if !last.set || gap > ins.op.BurstNS {
+					count.v++ // new burst
+				}
+				last.v, last.set = cur, true
+				out = count.v
+			}
+			env[ins.dstSlot] = out
+		case policy.OpReduce:
+			x := load(ins.src)
+			for _, ri := range ins.reducerIdx {
+				if tr, ok := g.reducers[ri].(streaming.TimedReducer); ok {
+					tr.ObserveAt(x, int64(ts))
+				} else {
+					g.reducers[ri].Observe(x)
+				}
+			}
+		}
+	}
+	g.cells++
+	g.lastTS = ts
+
+	// Per-packet emits: snapshot the designated reducers now.
+	var out []float64
+	emitted := false
+	for _, em := range pr.emits {
+		if !em.perPacket {
+			continue
+		}
+		emitted = true
+		out = append(out, r.snapshot(g, em)...)
+	}
+	return out, emitted
+}
+
+// snapshot assembles one emit's feature values, applying any
+// synthesize post-processing.
+func (r *Runtime) snapshot(g *group, em emitSpec) []float64 {
+	var vals []float64
+	for _, ri := range em.reducers {
+		vals = append(vals, g.reducers[ri].Features()...)
+	}
+	for _, s := range em.synth {
+		vals = applySynth(s, vals)
+	}
+	return vals
+}
+
+// emitVector hands a vector to the sink.
+func (r *Runtime) emitVector(key flowkey.Key, ts int64, vals []float64) {
+	r.stats.Vectors++
+	r.sink(feature.Vector{Key: key, Timestamp: ts, Values: vals})
+}
+
+// Flush emits the per-group vectors of all finest-granularity groups
+// (end-of-stream collection for per-group policies). Coarser
+// granularities contribute the features their collect ops selected,
+// looked up by projecting the group's key.
+func (r *Runtime) Flush() {
+	if r.plan.Policy.PerPacket() {
+		return // per-packet policies have already emitted everything
+	}
+	fg := r.plan.Switch.FG
+	// Deterministic order for reproducible outputs.
+	keys := make([]flowkey.Key, 0, len(r.groups))
+	for k := range r.groups {
+		if k.Gran == fg {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for _, k := range keys {
+		g := r.groups[k]
+		var vals []float64
+		for _, pr := range r.programs {
+			var pg *group
+			if pr.gran == fg {
+				pg = g
+			} else {
+				ck := flowkey.Project(pr.gran, k.Tuple)
+				pg = r.groups[ck]
+			}
+			if pg == nil {
+				continue
+			}
+			for _, em := range pr.emits {
+				if em.perPacket {
+					continue
+				}
+				vals = append(vals, r.snapshot(pg, em)...)
+			}
+		}
+		if len(vals) > 0 {
+			r.emitVector(k, int64(g.lastTS), vals)
+		}
+	}
+}
+
+func keyLess(a, b flowkey.Key) bool {
+	if a.Gran != b.Gran {
+		return a.Gran < b.Gran
+	}
+	ta, tb := a.Tuple, b.Tuple
+	switch {
+	case ta.SrcIP != tb.SrcIP:
+		return ta.SrcIP < tb.SrcIP
+	case ta.DstIP != tb.DstIP:
+		return ta.DstIP < tb.DstIP
+	case ta.SrcPort != tb.SrcPort:
+		return ta.SrcPort < tb.SrcPort
+	case ta.DstPort != tb.DstPort:
+		return ta.DstPort < tb.DstPort
+	}
+	return ta.Proto < tb.Proto
+}

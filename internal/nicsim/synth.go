@@ -1,0 +1,112 @@
+package nicsim
+
+import (
+	"math"
+
+	"superfe/internal/policy"
+)
+
+// applySynth post-processes a reduce's feature values with a
+// synthesizing function (Appendix A Table 5: f_marker, f_norm,
+// ft_sample).
+func applySynth(op policy.Op, vals []float64) []float64 {
+	switch op.SynthF {
+	case policy.SynthNorm:
+		return synthNorm(vals)
+	case policy.SynthSample:
+		return synthSample(vals, op.SampleN)
+	case policy.SynthMarker:
+		return synthMarker(vals)
+	}
+	return vals
+}
+
+// synthNorm normalises the sequence to unit maximum magnitude
+// (preserving sign — direction sequences stay in [-1, 1], the input
+// representation the deep WFP models expect).
+func synthNorm(vals []float64) []float64 {
+	var maxAbs float64
+	for _, v := range vals {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return vals
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v / maxAbs
+	}
+	return out
+}
+
+// synthSample resamples the sequence to exactly n points by uniform
+// index striding (ft_sample{n}), the fixed-length reduction CUMUL
+// applies to its cumulative trace.
+func synthSample(vals []float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if len(vals) == 0 {
+		return out
+	}
+	if len(vals) == 1 {
+		for i := range out {
+			out[i] = vals[0]
+		}
+		return out
+	}
+	if n == 1 {
+		out[0] = vals[len(vals)-1]
+		return out
+	}
+	for i := 0; i < n; i++ {
+		// Linear interpolation across the sequence.
+		pos := float64(i) * float64(len(vals)-1) / float64(n-1)
+		lo := int(pos)
+		hi := lo + 1
+		if hi >= len(vals) {
+			out[i] = vals[len(vals)-1]
+			continue
+		}
+		frac := pos - float64(lo)
+		out[i] = vals[lo]*(1-frac) + vals[hi]*frac
+	}
+	return out
+}
+
+// synthMarker inserts direction-change markers: at every sign change
+// in the sequence it records the accumulated magnitude sent in the
+// previous direction (f_marker: "add a structure at each direction
+// change to reflect the bytes/packet numbers previously sent"). The
+// output is the sequence of per-direction run totals, signed by run
+// direction, padded/truncated to the input length.
+func synthMarker(vals []float64) []float64 {
+	out := make([]float64, 0, len(vals))
+	var run float64
+	var sign float64
+	for _, v := range vals {
+		s := math.Copysign(1, v)
+		if v == 0 {
+			continue
+		}
+		if sign == 0 {
+			sign = s
+		}
+		if s != sign {
+			out = append(out, sign*run)
+			run, sign = 0, s
+		}
+		run += math.Abs(v)
+	}
+	if run > 0 && sign != 0 {
+		out = append(out, sign*run)
+	}
+	// Fixed-length view: pad with zeros or truncate to the input
+	// length so downstream dimensions stay stable.
+	fixed := make([]float64, len(vals))
+	copy(fixed, out)
+	return fixed
+}

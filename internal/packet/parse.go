@@ -1,0 +1,146 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"superfe/internal/flowkey"
+)
+
+// Parsing errors.
+var (
+	ErrTruncated    = errors.New("packet: truncated frame")
+	ErrNotIPv4      = errors.New("packet: not an IPv4 frame")
+	ErrBadIHL       = errors.New("packet: bad IPv4 header length")
+	ErrBadTransport = errors.New("packet: truncated transport header")
+)
+
+// EtherType values recognised by the parser.
+const (
+	etherTypeIPv4 = 0x0800
+	etherHdrLen   = 14
+	ipv4MinHdrLen = 20
+	udpHdrLen     = 8
+	tcpMinHdrLen  = 20
+)
+
+// Parse decodes an Ethernet/IPv4/{TCP,UDP,ICMP} frame into a Packet.
+// It mirrors the parse graph the paper's FE-Switch installs on the
+// Tofino: Ethernet → IPv4 → TCP/UDP, with everything else rejected by
+// the parser (and therefore invisible to policies). ts is the switch
+// arrival timestamp in nanoseconds; the wire length is taken from
+// len(frame).
+func Parse(frame []byte, ts int64) (Packet, error) {
+	var p Packet
+	if len(frame) < etherHdrLen {
+		return p, ErrTruncated
+	}
+	et := binary.BigEndian.Uint16(frame[12:14])
+	if et != etherTypeIPv4 {
+		return p, ErrNotIPv4
+	}
+	ip := frame[etherHdrLen:]
+	if len(ip) < ipv4MinHdrLen {
+		return p, ErrTruncated
+	}
+	if ip[0]>>4 != 4 {
+		return p, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < ipv4MinHdrLen || len(ip) < ihl {
+		return p, ErrBadIHL
+	}
+	p.TTL = ip[8]
+	p.Tuple.Proto = flowkey.Proto(ip[9])
+	p.Tuple.SrcIP = binary.BigEndian.Uint32(ip[12:16])
+	p.Tuple.DstIP = binary.BigEndian.Uint32(ip[16:20])
+	p.Size = uint32(len(frame))
+	p.Timestamp = ts
+
+	tp := ip[ihl:]
+	switch p.Tuple.Proto {
+	case flowkey.ProtoTCP:
+		if len(tp) < tcpMinHdrLen {
+			return p, ErrBadTransport
+		}
+		p.Tuple.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		p.Tuple.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		p.Flags = TCPFlags(tp[13] & 0x3f)
+	case flowkey.ProtoUDP:
+		if len(tp) < udpHdrLen {
+			return p, ErrBadTransport
+		}
+		p.Tuple.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		p.Tuple.DstPort = binary.BigEndian.Uint16(tp[2:4])
+	case flowkey.ProtoICMP:
+		// ICMP has no ports; type/code are not needed by any policy.
+	default:
+		// Other protocols: ports stay zero.
+	}
+	return p, nil
+}
+
+// Marshal encodes the packet as an Ethernet/IPv4/transport frame,
+// padding the payload with zeros up to p.Size. It is the inverse of
+// Parse and exists so trace files can round-trip through the real
+// parser in tests and in the replay tools. The frame length is
+// max(p.Size, minimum header length).
+func Marshal(p Packet) []byte {
+	ihl := ipv4MinHdrLen
+	var tplen int
+	switch p.Tuple.Proto {
+	case flowkey.ProtoTCP:
+		tplen = tcpMinHdrLen
+	case flowkey.ProtoUDP:
+		tplen = udpHdrLen
+	}
+	minLen := etherHdrLen + ihl + tplen
+	total := int(p.Size)
+	if total < minLen {
+		total = minLen
+	}
+	frame := make([]byte, total)
+	// Ethernet: synthetic MACs, IPv4 ethertype.
+	copy(frame[0:6], []byte{0x02, 0, 0, 0, 0, 0x02})
+	copy(frame[6:12], []byte{0x02, 0, 0, 0, 0, 0x01})
+	binary.BigEndian.PutUint16(frame[12:14], etherTypeIPv4)
+
+	ip := frame[etherHdrLen:]
+	ip[0] = 0x45 // v4, IHL=5
+	binary.BigEndian.PutUint16(ip[2:4], uint16(total-etherHdrLen))
+	ip[8] = p.TTL
+	ip[9] = byte(p.Tuple.Proto)
+	binary.BigEndian.PutUint32(ip[12:16], p.Tuple.SrcIP)
+	binary.BigEndian.PutUint32(ip[16:20], p.Tuple.DstIP)
+
+	tp := ip[ihl:]
+	switch p.Tuple.Proto {
+	case flowkey.ProtoTCP:
+		binary.BigEndian.PutUint16(tp[0:2], p.Tuple.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], p.Tuple.DstPort)
+		tp[12] = 5 << 4 // data offset
+		tp[13] = byte(p.Flags)
+	case flowkey.ProtoUDP:
+		binary.BigEndian.PutUint16(tp[0:2], p.Tuple.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], p.Tuple.DstPort)
+		binary.BigEndian.PutUint16(tp[4:6], uint16(total-etherHdrLen-ihl))
+	}
+	return frame
+}
+
+// Validate performs basic sanity checks on a synthesised packet:
+// non-zero addresses, a recognised protocol and a plausible size.
+// Trace generators call it in their tests.
+func Validate(p Packet) error {
+	if p.Tuple.SrcIP == 0 || p.Tuple.DstIP == 0 {
+		return fmt.Errorf("packet: zero address in %s", p.Tuple)
+	}
+	if p.Size == 0 || p.Size > 65535 {
+		return fmt.Errorf("packet: implausible size %d", p.Size)
+	}
+	if p.Timestamp < 0 {
+		return fmt.Errorf("packet: negative timestamp %d", p.Timestamp)
+	}
+	return nil
+}

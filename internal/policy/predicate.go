@@ -1,0 +1,172 @@
+package policy
+
+import (
+	"fmt"
+
+	"superfe/internal/flowkey"
+	"superfe/internal/packet"
+)
+
+// Predicate is a filter condition over a packet tuple. Predicates
+// compile to a single match-action table on the switch (§5: "The
+// filtering is realized with a single match-action table"), so they
+// are restricted to conjunctions/disjunctions of field comparisons —
+// exactly what a TCAM rule set can express.
+type Predicate interface {
+	// Eval tests the packet.
+	Eval(p *packet.Packet) bool
+	// String renders policy syntax.
+	String() string
+	// Rules returns the number of TCAM rules needed; the switch
+	// resource model charges for them.
+	Rules() int
+}
+
+// CmpOp is a comparison operator in a field predicate.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// String renders the operator symbol.
+func (c CmpOp) String() string {
+	switch c {
+	case CmpEq:
+		return "=="
+	case CmpNe:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// FieldPred compares one packet field against a constant.
+type FieldPred struct {
+	Field packet.FieldName
+	Op    CmpOp
+	Value int64
+}
+
+// Eval tests the comparison.
+func (f FieldPred) Eval(p *packet.Packet) bool {
+	v := p.Field(f.Field)
+	switch f.Op {
+	case CmpEq:
+		return v == f.Value
+	case CmpNe:
+		return v != f.Value
+	case CmpLt:
+		return v < f.Value
+	case CmpLe:
+		return v <= f.Value
+	case CmpGt:
+		return v > f.Value
+	case CmpGe:
+		return v >= f.Value
+	}
+	return false
+}
+
+// String renders "field op value".
+func (f FieldPred) String() string {
+	return fmt.Sprintf("%s %s %d", f.Field, f.Op, f.Value)
+}
+
+// Rules charges one exact-match rule for ==, and a range expansion
+// (modelled as 2 rules) for inequalities, approximating TCAM range
+// encoding cost.
+func (f FieldPred) Rules() int {
+	if f.Op == CmpEq || f.Op == CmpNe {
+		return 1
+	}
+	return 2
+}
+
+// AndPred is a conjunction.
+type AndPred struct{ L, R Predicate }
+
+// Eval tests both sides.
+func (a AndPred) Eval(p *packet.Packet) bool { return a.L.Eval(p) && a.R.Eval(p) }
+
+// String renders "(l && r)".
+func (a AndPred) String() string { return fmt.Sprintf("(%s && %s)", a.L, a.R) }
+
+// Rules multiplies (cross-product expansion in a single table).
+func (a AndPred) Rules() int { return a.L.Rules() * a.R.Rules() }
+
+// OrPred is a disjunction.
+type OrPred struct{ L, R Predicate }
+
+// Eval tests either side.
+func (o OrPred) Eval(p *packet.Packet) bool { return o.L.Eval(p) || o.R.Eval(p) }
+
+// String renders "(l || r)".
+func (o OrPred) String() string { return fmt.Sprintf("(%s || %s)", o.L, o.R) }
+
+// Rules adds (separate rules in the same table).
+func (o OrPred) Rules() int { return o.L.Rules() + o.R.Rules() }
+
+// NotPred negates.
+type NotPred struct{ P Predicate }
+
+// Eval negates the inner predicate.
+func (n NotPred) Eval(p *packet.Packet) bool { return !n.P.Eval(p) }
+
+// String renders "!(p)".
+func (n NotPred) String() string { return fmt.Sprintf("!(%s)", n.P) }
+
+// Rules matches the inner cost (negation flips the table's default
+// action).
+func (n NotPred) Rules() int { return n.P.Rules() }
+
+// TruePred accepts everything (no filter).
+type TruePred struct{}
+
+// Eval always accepts.
+func (TruePred) Eval(*packet.Packet) bool { return true }
+
+// String renders "true".
+func (TruePred) String() string { return "true" }
+
+// Rules charges nothing.
+func (TruePred) Rules() int { return 0 }
+
+// Convenience constructors matching the paper's example predicates.
+
+// TCPExists is the tcp.exist predicate from Figures 3 and 5.
+func TCPExists() Predicate {
+	return FieldPred{Field: packet.FieldProto, Op: CmpEq, Value: int64(flowkey.ProtoTCP)}
+}
+
+// UDPExists selects UDP packets.
+func UDPExists() Predicate {
+	return FieldPred{Field: packet.FieldProto, Op: CmpEq, Value: int64(flowkey.ProtoUDP)}
+}
+
+// PortIs selects packets whose destination port matches.
+func PortIs(port uint16) Predicate {
+	return FieldPred{Field: packet.FieldDstPort, Op: CmpEq, Value: int64(port)}
+}
+
+// And conjoins predicates.
+func And(l, r Predicate) Predicate { return AndPred{L: l, R: r} }
+
+// Or disjoins predicates.
+func Or(l, r Predicate) Predicate { return OrPred{L: l, R: r} }
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate { return NotPred{P: p} }

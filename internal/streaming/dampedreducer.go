@@ -1,0 +1,158 @@
+package streaming
+
+import "fmt"
+
+// TimedReducer is the extension interface for reducing functions that
+// need the packet timestamp in addition to the sample — the damped
+// (decayed) window statistics Kitsune/HELAD build on. The FE-NIC
+// runtime feeds ObserveAt when the reducer implements it, falling
+// back to Observe otherwise. This follows the paper's extensibility
+// story (§4.1: reducing functions "can also be extended by users").
+type TimedReducer interface {
+	Reducer
+	ObserveAt(x int64, ts int64)
+}
+
+// Damped reducing functions over 2^(-λΔt) windows. FDWeight/FDMean/
+// FDStd are the 1D statistics (w, μ, σ); the FD2D* functions are the
+// bidirectional 2D statistics, with direction carried in the sample
+// sign exactly like the undamped Bidirectional reducers.
+const (
+	FDWeight Func = Func(numFuncs) + iota
+	FDMean
+	FDStd
+	FD2DMag
+	FD2DRadius
+	FD2DCov
+	FD2DPCC
+	numFuncsExt
+)
+
+// NumFuncsTotal counts all reducing functions including the damped
+// extension set.
+const NumFuncsTotal = int(numFuncsExt)
+
+// IsTimed reports whether f is a damped (timestamp-consuming)
+// reducing function; the policy compiler batches the timestamp
+// metadata field whenever one is used.
+func IsTimed(f Func) bool { return f >= FDWeight && f < numFuncsExt }
+
+// dampedName returns the policy-language name of a damped function,
+// or "" if f is not one.
+func dampedName(f Func) string {
+	switch f {
+	case FDWeight:
+		return "fd_weight"
+	case FDMean:
+		return "fd_mean"
+	case FDStd:
+		return "fd_std"
+	case FD2DMag:
+		return "fd_mag"
+	case FD2DRadius:
+		return "fd_radius"
+	case FD2DCov:
+		return "fd_cov"
+	case FD2DPCC:
+		return "fd_pcc"
+	}
+	return ""
+}
+
+// Damped1D adapts DampedWelford to the Reducer interface, emitting
+// weight, mean or stddev.
+type Damped1D struct {
+	emit Func
+	w    DampedWelford
+}
+
+// NewDamped1D builds a damped 1D reducer with decay rate lambda
+// (1/s).
+func NewDamped1D(emit Func, lambda float64) *Damped1D {
+	return &Damped1D{emit: emit, w: DampedWelford{Lambda: lambda}}
+}
+
+// ObserveAt folds a timestamped sample.
+func (d *Damped1D) ObserveAt(x int64, ts int64) { d.w.ObserveAt(float64(x), ts) }
+
+// Observe folds a sample with no time advance (decay frozen); the
+// runtime always uses ObserveAt.
+func (d *Damped1D) Observe(x int64) { d.w.ObserveAt(float64(x), d.w.lastTime) }
+
+// Features emits the selected damped statistic.
+func (d *Damped1D) Features() []float64 {
+	switch d.emit {
+	case FDMean:
+		return []float64{d.w.Mean()}
+	case FDStd:
+		return []float64{d.w.Std()}
+	default:
+		return []float64{d.w.Weight()}
+	}
+}
+
+// StateBytes reports the damped window state.
+func (d *Damped1D) StateBytes() int { return d.w.StateBytes() }
+
+// Reset clears the window.
+func (d *Damped1D) Reset() { d.w.Reset() }
+
+// Damped2DReducer adapts Damped2D to the Reducer interface: positive
+// samples feed stream A (forward), negative samples feed stream B
+// (backward) with magnitude |x|.
+type Damped2DReducer struct {
+	emit Func
+	d    *Damped2D
+}
+
+// NewDamped2DReducer builds a damped 2D reducer.
+func NewDamped2DReducer(emit Func, lambda float64) *Damped2DReducer {
+	return &Damped2DReducer{emit: emit, d: NewDamped2D(lambda)}
+}
+
+// ObserveAt folds a timestamped directional sample.
+func (r *Damped2DReducer) ObserveAt(x int64, ts int64) {
+	if x >= 0 {
+		r.d.ObserveA(float64(x), ts)
+	} else {
+		r.d.ObserveB(float64(-x), ts)
+	}
+}
+
+// Observe folds with a frozen clock; the runtime always uses
+// ObserveAt.
+func (r *Damped2DReducer) Observe(x int64) { r.ObserveAt(x, r.d.lastTime) }
+
+// Features emits the selected damped 2D statistic.
+func (r *Damped2DReducer) Features() []float64 {
+	switch r.emit {
+	case FD2DRadius:
+		return []float64{r.d.Radius()}
+	case FD2DCov:
+		return []float64{r.d.Cov()}
+	case FD2DPCC:
+		return []float64{r.d.PCC()}
+	default:
+		return []float64{r.d.Magnitude()}
+	}
+}
+
+// StateBytes reports the 2D window state.
+func (r *Damped2DReducer) StateBytes() int { return r.d.StateBytes() }
+
+// Reset clears both windows.
+func (r *Damped2DReducer) Reset() { r.d.Reset() }
+
+// newDamped dispatches the damped constructors for New.
+func newDamped(f Func, p Params) (Reducer, error) {
+	if p.Lambda <= 0 {
+		return nil, fmt.Errorf("streaming: %s requires a positive decay rate lambda", f)
+	}
+	switch f {
+	case FDWeight, FDMean, FDStd:
+		return NewDamped1D(f, p.Lambda), nil
+	case FD2DMag, FD2DRadius, FD2DCov, FD2DPCC:
+		return NewDamped2DReducer(f, p.Lambda), nil
+	}
+	return nil, fmt.Errorf("streaming: unknown damped function %d", uint8(f))
+}

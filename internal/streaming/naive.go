@@ -1,0 +1,266 @@
+package streaming
+
+import (
+	"math"
+	"sort"
+)
+
+// NaiveReducer is the store-everything counterpart of a streaming
+// reducer: it buffers the complete sample stream and computes the
+// feature with a multi-pass batch algorithm on demand. The paper's
+// Figure 15 compares FE-NIC with streaming algorithms against this
+// naïve re-implementation ("naïve algorithms ask for a large amount
+// of on-chip memory, which exceeds the capacity of our SmartNICs").
+type NaiveReducer struct {
+	emit   Func
+	params Params
+	data   []int64
+	tss    []int64 // timestamps, kept for the damped functions
+}
+
+// NewNaive constructs a naïve reducer computing f.
+func NewNaive(f Func, p Params) *NaiveReducer {
+	return &NaiveReducer{emit: f, params: p}
+}
+
+// Observe buffers the sample.
+func (n *NaiveReducer) Observe(x int64) { n.data = append(n.data, x) }
+
+// ObserveAt buffers the sample with its timestamp (damped functions
+// recompute the full decayed sums at emit time from the buffer).
+func (n *NaiveReducer) ObserveAt(x int64, ts int64) {
+	n.data = append(n.data, x)
+	n.tss = append(n.tss, ts)
+}
+
+// StateBytes reports the full buffered stream — this is what blows up
+// the SmartNIC memory in the Figure 15 ablation.
+func (n *NaiveReducer) StateBytes() int { return 8*len(n.data) + 8*len(n.tss) }
+
+// Reset drops the buffer.
+func (n *NaiveReducer) Reset() { n.data, n.tss = n.data[:0], n.tss[:0] }
+
+// Features computes the feature with the batch algorithm.
+func (n *NaiveReducer) Features() []float64 {
+	switch n.emit {
+	case FSum:
+		var s int64
+		for _, x := range n.data {
+			s += x
+		}
+		return []float64{float64(s)}
+	case FMean:
+		return []float64{naiveMean(n.data)}
+	case FVar:
+		return []float64{naiveVar(n.data)}
+	case FStd:
+		return []float64{math.Sqrt(naiveVar(n.data))}
+	case FMax:
+		if len(n.data) == 0 {
+			return []float64{0}
+		}
+		m := n.data[0]
+		for _, x := range n.data[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return []float64{float64(m)}
+	case FMin:
+		if len(n.data) == 0 {
+			return []float64{0}
+		}
+		m := n.data[0]
+		for _, x := range n.data[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return []float64{float64(m)}
+	case FSkew:
+		return []float64{naiveStandardMoment(n.data, 3)}
+	case FKurtosis:
+		return []float64{naiveStandardMoment(n.data, 4) - 3}
+	case FCard:
+		set := make(map[int64]struct{}, len(n.data))
+		for _, x := range n.data {
+			set[x] = struct{}{}
+		}
+		return []float64{float64(len(set))}
+	case FHist, FPDF, FCDF, FPercent:
+		h := &Histogram{emit: n.emit, width: n.params.BinWidth, bins: make([]uint32, n.params.Bins), quantile: n.params.Quantile}
+		for _, x := range n.data {
+			h.Observe(x)
+		}
+		return h.Features()
+	case FArray:
+		maxLen := n.params.MaxLen
+		if maxLen == 0 {
+			maxLen = DefaultMaxArray
+		}
+		out := make([]float64, maxLen)
+		for i, x := range n.data {
+			if i >= maxLen {
+				break
+			}
+			out[i] = float64(x)
+		}
+		return out
+	case FMag, FRadius, FCov, FPCC:
+		return []float64{naiveBidir(n.emit, n.data)}
+	case FDWeight, FDMean, FDStd, FD2DMag, FD2DRadius, FD2DCov, FD2DPCC:
+		return []float64{naiveDamped(n.emit, n.params.Lambda, n.data, n.tss)}
+	}
+	return []float64{0}
+}
+
+// naiveDamped replays the buffered (sample, timestamp) stream through
+// a fresh damped window — the multi-pass equivalent of the streaming
+// damped statistics.
+func naiveDamped(f Func, lambda float64, data, tss []int64) float64 {
+	if len(tss) != len(data) {
+		// Samples observed without timestamps; treat as simultaneous.
+		tss = make([]int64, len(data))
+	}
+	switch f {
+	case FDWeight, FDMean, FDStd:
+		w := DampedWelford{Lambda: lambda}
+		for i, x := range data {
+			w.ObserveAt(float64(x), tss[i])
+		}
+		switch f {
+		case FDMean:
+			return w.Mean()
+		case FDStd:
+			return w.Std()
+		default:
+			return w.Weight()
+		}
+	default:
+		d := NewDamped2D(lambda)
+		for i, x := range data {
+			if x >= 0 {
+				d.ObserveA(float64(x), tss[i])
+			} else {
+				d.ObserveB(float64(-x), tss[i])
+			}
+		}
+		switch f {
+		case FD2DRadius:
+			return d.Radius()
+		case FD2DCov:
+			return d.Cov()
+		case FD2DPCC:
+			return d.PCC()
+		default:
+			return d.Magnitude()
+		}
+	}
+}
+
+// ExactQuantile computes the exact q-th quantile by sorting the
+// buffered stream (what ft_percent approximates via the histogram).
+func (n *NaiveReducer) ExactQuantile(q float64) float64 {
+	if len(n.data) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), n.data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx])
+}
+
+func naiveMean(data []int64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range data {
+		s += float64(x)
+	}
+	return s / float64(len(data))
+}
+
+func naiveVar(data []int64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	m := naiveMean(data)
+	var s float64
+	for _, x := range data {
+		d := float64(x) - m
+		s += d * d
+	}
+	return s / float64(len(data))
+}
+
+// naiveStandardMoment computes the k-th standardised central moment
+// E[(x-μ)^k]/σ^k with explicit passes, with the sqrt(n) skewness
+// normalisation matching the streaming Moments implementation.
+func naiveStandardMoment(data []int64, k int) float64 {
+	if len(data) < 2 {
+		return 0
+	}
+	m := naiveMean(data)
+	v := naiveVar(data)
+	if v == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range data {
+		d := float64(x) - m
+		p := d
+		for i := 1; i < k; i++ {
+			p *= d
+		}
+		s += p
+	}
+	n := float64(len(data))
+	return (s / n) / math.Pow(v, float64(k)/2)
+}
+
+// naiveBidir splits the signed stream into forward/backward and
+// computes the exact 2D statistic.
+func naiveBidir(f Func, data []int64) float64 {
+	var fwd, bwd []int64
+	for _, x := range data {
+		if x >= 0 {
+			fwd = append(fwd, x)
+		} else {
+			bwd = append(bwd, -x)
+		}
+	}
+	mf, mb := naiveMean(fwd), naiveMean(bwd)
+	vf, vb := naiveVar(fwd), naiveVar(bwd)
+	switch f {
+	case FMag:
+		return math.Sqrt(mf*mf + mb*mb)
+	case FRadius:
+		return math.Sqrt(vf*vf + vb*vb)
+	case FCov, FPCC:
+		// Exact covariance over index-paired samples (truncated to the
+		// shorter stream).
+		n := len(fwd)
+		if len(bwd) < n {
+			n = len(bwd)
+		}
+		if n == 0 {
+			return 0
+		}
+		var sp float64
+		for i := 0; i < n; i++ {
+			sp += (float64(fwd[i]) - mf) * (float64(bwd[i]) - mb)
+		}
+		cov := sp / float64(n)
+		if f == FCov {
+			return cov
+		}
+		denom := math.Sqrt(vf) * math.Sqrt(vb)
+		if denom == 0 {
+			return 0
+		}
+		p := cov / denom
+		return math.Max(-1, math.Min(1, p))
+	}
+	return 0
+}

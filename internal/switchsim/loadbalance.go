@@ -1,0 +1,84 @@
+package switchsim
+
+import (
+	"fmt"
+	"math"
+
+	"superfe/internal/gpv"
+)
+
+// LoadBalancer distributes the switch's MGPV stream across multiple
+// SmartNICs (§8.5: "We can also add more SmartNICs to scale up FE-NIC
+// further, with a simple load-balance mechanism implemented on the
+// switch to distribute the MGPV traffic across them evenly").
+//
+// MGPVs are routed by their CG hash so all batches of one group land
+// on the same NIC (the per-group state must not split); FG table
+// updates are broadcast, since every NIC keeps a synchronized copy.
+// This is the same invariant the NBI uses inside one NIC, lifted to
+// the NIC population.
+type LoadBalancer struct {
+	sinks []func(gpv.Message)
+	// Per-NIC byte counters for the balance metric.
+	bytes []uint64
+	msgs  []uint64
+}
+
+// NewLoadBalancer wraps the per-NIC sinks. Use the returned
+// balancer's Sink as the switch's message sink.
+func NewLoadBalancer(sinks ...func(gpv.Message)) (*LoadBalancer, error) {
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("switchsim: load balancer needs at least one NIC")
+	}
+	return &LoadBalancer{
+		sinks: sinks,
+		bytes: make([]uint64, len(sinks)),
+		msgs:  make([]uint64, len(sinks)),
+	}, nil
+}
+
+// Sink routes one message.
+func (lb *LoadBalancer) Sink(m gpv.Message) {
+	size := uint64(m.EncodedSize())
+	if m.FG != nil {
+		// FG updates are broadcast to keep every NIC's table in sync.
+		for i, s := range lb.sinks {
+			lb.bytes[i] += size
+			lb.msgs[i]++
+			s(m)
+		}
+		return
+	}
+	if m.MGPV != nil {
+		i := int(m.MGPV.Hash % uint32(len(lb.sinks)))
+		lb.bytes[i] += size
+		lb.msgs[i]++
+		lb.sinks[i](m)
+	}
+}
+
+// BytesPerNIC returns the per-NIC byte counters.
+func (lb *LoadBalancer) BytesPerNIC() []uint64 {
+	return append([]uint64(nil), lb.bytes...)
+}
+
+// Imbalance returns the load imbalance metric: the maximum relative
+// deviation of any NIC's byte share from the even split (0 = perfect
+// balance, 1 = one NIC carries double its share).
+func (lb *LoadBalancer) Imbalance() float64 {
+	var total uint64
+	for _, b := range lb.bytes {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	even := float64(total) / float64(len(lb.bytes))
+	var worst float64
+	for _, b := range lb.bytes {
+		if d := math.Abs(float64(b)-even) / even; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

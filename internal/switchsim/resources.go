@@ -1,0 +1,125 @@
+package switchsim
+
+import (
+	"superfe/internal/policy"
+)
+
+// Tofino resource envelope used by the utilization model. The
+// figures approximate a Tofino 1 (32Q): 12 match-action stages, 16
+// logical tables and 4 stateful ALUs per stage, 120 Mb of SRAM.
+// Table 4 of the paper reports utilization relative to such an
+// envelope.
+const (
+	tofinoStages       = 12
+	tofinoTablesPerStg = 16
+	tofinoSALUsPerStg  = 4
+	tofinoSRAMBits     = 120 * 1024 * 1024
+	tofinoTablesTotal  = tofinoStages * tofinoTablesPerStg // 192
+	tofinoSALUsTotal   = tofinoStages * tofinoSALUsPerStg  // 48
+)
+
+// Resources reports the switch-side hardware utilization of a
+// deployed plan, the quantities in Table 4 (Tables, sALUs, SRAM as
+// fractions of the device).
+type Resources struct {
+	Tables float64 // fraction of logical match-action tables
+	SALUs  float64 // fraction of stateful ALUs
+	SRAM   float64 // fraction of SRAM bits
+}
+
+// EstimateResources models the P4 program the policy engine would
+// generate for the plan on a Tofino. The model is structural —
+// charges grow with the plan's batched metadata words, short-buffer
+// depth and granularity-chain length, on top of the fixed MGPV cache
+// machinery (parser, hash units, stack resubmit path, aging
+// recirculation) — with the fixed-cost coefficients calibrated
+// against the paper's own Table 4 measurements (tables 26-32%, sALUs
+// 69-77%, SRAM 16.5-18.8% across TF/N-BaIoT/NPOD/Kitsune).
+// Calibrating the intercepts to the published utilization keeps this
+// estimator, and every experiment built on it, consistent with the
+// prototype the paper profiled; the structure (what scales with
+// what) is the model's contribution.
+func EstimateResources(cfg Config, plan policy.SwitchPlan) Resources {
+	words := len(plan.MetadataFields)
+	if words < 1 {
+		words = 1 // the direction/FG word is always carried
+	}
+	grans := len(plan.Chain)
+	multiGran := !(plan.CG == plan.FG && grans == 1)
+
+	// --- Logical tables ---------------------------------------------------
+	// Fixed machinery: parser, key/hash calculation, forwarding
+	// preservation, filter, short-buffer steering, stack resubmit
+	// path, aging recirculation.
+	tables := 34
+	tables += cfg.ShortBufCells // per-cell write steering
+	tables += words             // eviction mux per metadata word
+	tables += 8                 // long-buffer stack management
+	if multiGran {
+		tables += 4 // FG table install + notify
+	}
+	if cfg.AgingT > 0 {
+		tables += 4
+	}
+	if plan.Pred.Rules() > 0 {
+		tables++
+	}
+
+	// --- Stateful ALUs -----------------------------------------------------
+	// Fixed: occupancy/key check, timestamps, cell counter, stack
+	// pointer + array, hash state, aging cursor — the bulk of the
+	// paper's "heavily used by FE-Switch to implement the aggregation
+	// mechanism".
+	salus := 31
+	salus += words * cfg.ShortBufCells / 2 // register arrays for cell words
+	extraGrans := grans - 1                // per-extra-granularity key handling
+	if extraGrans > 2 {
+		extraGrans = 2 // key projection shares sALUs past two levels
+	}
+	salus += extraGrans
+
+	// --- SRAM ---------------------------------------------------------------
+	// Fixed cache fabric (keys, hashes, timestamps, stack, control
+	// tables) plus per-word and per-granularity register storage.
+	sramMb := 19.5
+	sramMb += 0.3 * float64(words)
+	sramMb += 0.8 * float64(grans-1)
+	bits := int(sramMb * 1024 * 1024)
+
+	r := Resources{
+		Tables: float64(tables) / float64(tofinoTablesTotal),
+		SALUs:  float64(salus) / float64(tofinoSALUsTotal),
+		SRAM:   float64(bits) / float64(tofinoSRAMBits),
+	}
+	return clampResources(r)
+}
+
+func clampResources(r Resources) Resources {
+	c := func(v float64) float64 {
+		if v > 1 {
+			return 1
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return Resources{Tables: c(r.Tables), SALUs: c(r.SALUs), SRAM: c(r.SRAM)}
+}
+
+// ConfiguredMemoryBytes returns the cache memory the configuration
+// allocates for one deployed plan — the memory-occupation metric of
+// Figure 13 (MGPV keeps this constant across granularity counts; the
+// GPV baseline multiplies it per granularity).
+func ConfiguredMemoryBytes(cfg Config, plan policy.SwitchPlan) int {
+	words := len(plan.MetadataFields) + 1
+	bytes := 0
+	bytes += words * 4 * cfg.ShortBufCells * cfg.NumShort
+	bytes += (13 + 4 + 8) * cfg.NumShort
+	bytes += words * 4 * cfg.LongBufCells * cfg.NumLong
+	bytes += 4 * cfg.NumLong
+	if !(plan.CG == plan.FG && len(plan.Chain) == 1) {
+		bytes += 13 * cfg.FGTableSize
+	}
+	return bytes
+}

@@ -1,0 +1,51 @@
+package switchsim
+
+import "fmt"
+
+// Stats aggregates the switch counters the experiments read.
+type Stats struct {
+	PktsIn       uint64
+	BytesIn      uint64
+	PktsFiltered uint64 // dropped by the policy filter
+
+	GroupsAdmitted uint64
+	LongBufGrants  uint64
+
+	MsgsOut   uint64
+	BytesOut  uint64
+	CellsOut  uint64
+	FGUpdates uint64
+	// FGOverwrites counts FG table collisions that replaced a live
+	// key; cells still batched under the old index are misattributed
+	// on the NIC (an approximation source bounded by Figure 10).
+	FGOverwrites uint64
+
+	Evictions   [4]uint64 // indexed by gpv.EvictReason
+	AgingChecks uint64
+}
+
+// AggregationRatio is the Figure 12 metric: bytes sent to the NIC
+// divided by raw bytes received. Lower is better; the paper reports
+// >80% reduction (ratio < 0.2).
+func (s Stats) AggregationRatio() float64 {
+	if s.BytesIn == 0 {
+		return 0
+	}
+	return float64(s.BytesOut) / float64(s.BytesIn)
+}
+
+// MessageRatio is the companion rate metric: messages out per packet
+// in ("receiving rate" reduction in Figure 12).
+func (s Stats) MessageRatio() float64 {
+	if s.PktsIn == 0 {
+		return 0
+	}
+	return float64(s.MsgsOut) / float64(s.PktsIn)
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("in=%dpkt/%dB filtered=%d out=%dmsg/%dB cells=%d agg=%.3f evict[col=%d full=%d age=%d flush=%d] fgupd=%d fgow=%d",
+		s.PktsIn, s.BytesIn, s.PktsFiltered, s.MsgsOut, s.BytesOut, s.CellsOut, s.AggregationRatio(),
+		s.Evictions[0], s.Evictions[1], s.Evictions[2], s.Evictions[3], s.FGUpdates, s.FGOverwrites)
+}

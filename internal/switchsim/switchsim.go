@@ -1,0 +1,372 @@
+// Package switchsim simulates SuperFE's FE-Switch: the P4 program the
+// policy engine deploys on an Intel Tofino to batch feature metadata
+// (§5 of the paper). The simulator reproduces, per packet, the full
+// MGPV cache behaviour:
+//
+//   - a single match-action filter table (the compiled policy filter);
+//   - grouping at the coarsest granularity (CG) with one short buffer
+//     per group slot and a stack of larger long buffers for long
+//     flows (§5.2 "Memory allocation");
+//   - the deduplicated finest-granularity (FG) key table synchronised
+//     to the NIC with FGUpdate messages (§5.1);
+//   - the three eviction causes — hash collision, buffer full, and
+//     aging timeout — with the recirculation-driven aging scan
+//     (§5.2 "MGPV eviction", "Aging mechanism");
+//   - byte-exact accounting of the MGPV traffic on the switch→NIC
+//     channel, for the Figure 12 aggregation-ratio experiment;
+//   - a Tofino resource model (tables, stateful ALUs, SRAM) for the
+//     Table 4 utilization experiment.
+//
+// This package substitutes for the ~2K lines of P4-16 plus ~4K lines
+// of control-plane C of the paper's prototype (§7); see DESIGN.md for
+// why the substitution preserves the evaluated behaviour.
+package switchsim
+
+import (
+	"fmt"
+
+	"superfe/internal/flowkey"
+	"superfe/internal/gpv"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+)
+
+// Config sizes the MGPV cache. The zero value is unusable; use
+// DefaultConfig for the paper's prototype parameters (§7: short
+// buffers 4×16384, long buffers 20×4096, FG table 16384).
+type Config struct {
+	ShortBufCells int   // cells per short buffer
+	NumShort      int   // number of short buffers (= CG group slots)
+	LongBufCells  int   // cells per long buffer
+	NumLong       int   // number of long buffers on the stack
+	FGTableSize   int   // FG key table entries
+	AgingT        int64 // ns; 0 disables the aging mechanism
+	// AgingScanNS is the time between successive cache-entry checks
+	// by the recirculated aging packets. The paper keeps the scan
+	// entirely in the data plane "at a high frequency"; the default
+	// visits all 16384 entries in ~1.6ms.
+	AgingScanNS int64
+}
+
+// DefaultConfig returns the prototype parameters from §7.
+func DefaultConfig() Config {
+	return Config{
+		ShortBufCells: 4,
+		NumShort:      16384,
+		LongBufCells:  20,
+		NumLong:       4096,
+		FGTableSize:   16384,
+		AgingT:        0, // disabled unless the experiment sets it
+		AgingScanNS:   100,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ShortBufCells <= 0 || c.NumShort <= 0 {
+		return fmt.Errorf("switchsim: short buffers misconfigured (%d cells × %d)", c.ShortBufCells, c.NumShort)
+	}
+	if c.LongBufCells < 0 || c.NumLong < 0 {
+		return fmt.Errorf("switchsim: long buffers misconfigured (%d cells × %d)", c.LongBufCells, c.NumLong)
+	}
+	if c.FGTableSize <= 0 {
+		return fmt.Errorf("switchsim: FG table size must be positive, got %d", c.FGTableSize)
+	}
+	if c.AgingT > 0 && c.AgingScanNS <= 0 {
+		return fmt.Errorf("switchsim: aging enabled but scan interval is %d", c.AgingScanNS)
+	}
+	return nil
+}
+
+// slot is one CG group entry: the short buffer plus an optional long
+// buffer reference.
+type slot struct {
+	occupied   bool
+	key        flowkey.Key
+	hash       uint32
+	short      []gpv.Cell
+	longIdx    int32 // -1 when the group owns no long buffer
+	lastAccess int64
+}
+
+// fgEntry is one FG key table entry.
+type fgEntry struct {
+	occupied bool
+	key      flowkey.FiveTuple
+}
+
+// Switch is the FE-Switch instance for one compiled policy.
+type Switch struct {
+	cfg  Config
+	plan policy.SwitchPlan
+
+	slots    []slot
+	longBufs [][]gpv.Cell
+	stack    []int32 // free long-buffer indices
+	fgTable  []fgEntry
+
+	out  func(gpv.Message)
+	now  int64
+	enc  []byte // scratch encode buffer
+	stat Stats
+
+	// Aging scan state (the recirculated internal packets).
+	agingCursor int
+	agingNext   int64
+
+	// singleGran is set when the switch emulates a plain GPV cache
+	// for one granularity (the Figure 13 baseline): the FG table is
+	// not used and cells carry no FG index.
+	singleGran bool
+}
+
+// New creates a switch running the given compiled switch plan. The
+// sink receives every MGPV eviction and FG table update in order.
+func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("switchsim: nil sink")
+	}
+	s := &Switch{
+		cfg:      cfg,
+		plan:     plan,
+		slots:    make([]slot, cfg.NumShort),
+		longBufs: make([][]gpv.Cell, cfg.NumLong),
+		stack:    make([]int32, 0, cfg.NumLong),
+		fgTable:  make([]fgEntry, cfg.FGTableSize),
+		out:      sink,
+	}
+	for i := range s.slots {
+		s.slots[i].longIdx = -1
+	}
+	for i := cfg.NumLong - 1; i >= 0; i-- {
+		s.longBufs[i] = make([]gpv.Cell, 0, cfg.LongBufCells)
+		s.stack = append(s.stack, int32(i))
+	}
+	// Single-granularity fast path: when CG == FG the FG table is
+	// pure overhead (every cell's FG key equals the group key), so
+	// the compiled program omits it — this also serves as the plain
+	// GPV emulation for Figure 13.
+	s.singleGran = plan.CG == plan.FG && len(plan.Chain) == 1
+	return s, nil
+}
+
+// Stats returns a copy of the switch counters.
+func (s *Switch) Stats() Stats { return s.stat }
+
+// Plan returns the switch plan in force.
+func (s *Switch) Plan() policy.SwitchPlan { return s.plan }
+
+// Now returns the switch clock (the last packet or aging timestamp).
+func (s *Switch) Now() int64 { return s.now }
+
+// Process runs one packet through the pipeline: parse (already done
+// by the packet package), filter, group, batch. It returns whether
+// the packet was selected by the filter.
+func (s *Switch) Process(p *packet.Packet) bool {
+	if p.Timestamp > s.now {
+		s.now = p.Timestamp
+	}
+	s.runAging()
+
+	s.stat.PktsIn++
+	s.stat.BytesIn += uint64(p.Size)
+
+	if !s.plan.Pred.Eval(p) {
+		s.stat.PktsFiltered++
+		return false
+	}
+
+	// Grouping key at the coarsest granularity.
+	cgKey, _ := flowkey.KeyFor(s.plan.CG, p.Tuple)
+	hash := flowkey.HashKey(cgKey)
+	idx := int(hash % uint32(len(s.slots)))
+	sl := &s.slots[idx]
+
+	// Case 1 of §5.2: hash collision with an older group → evict it.
+	if sl.occupied && sl.key != cgKey {
+		s.evict(sl, gpv.EvictCollision, true)
+	}
+	if !sl.occupied {
+		sl.occupied = true
+		sl.key = cgKey
+		sl.hash = hash
+		s.stat.GroupsAdmitted++
+	}
+	sl.lastAccess = s.now
+
+	// Build the cell: batched metadata fields + FG index + direction.
+	cell := gpv.Cell{Values: make([]uint32, len(s.plan.MetadataFields))}
+	for i, f := range s.plan.MetadataFields {
+		cell.Values[i] = uint32(p.Field(f))
+	}
+	if !s.singleGran {
+		fgKey, fwd := s.fgKeyFor(p.Tuple)
+		cell.FGIndex = s.fgIndex(fgKey)
+		cell.Forward = fwd
+	} else if s.plan.NeedsDirection {
+		_, fwd := flowkey.KeyFor(s.plan.FG, p.Tuple)
+		cell.Forward = fwd
+	} else {
+		// Non-directional single granularity: the group key IS the
+		// packet's tuple orientation.
+		cell.Forward = true
+	}
+
+	s.appendCell(sl, cell)
+	return true
+}
+
+// fgKeyFor derives the FG key and direction for a packet: the
+// canonical 5-tuple with a direction bit whenever any granularity in
+// the chain is directional (the NIC can then reconstruct the packet's
+// true orientation and re-derive direction at every level), the raw
+// tuple otherwise.
+func (s *Switch) fgKeyFor(t flowkey.FiveTuple) (flowkey.FiveTuple, bool) {
+	if s.plan.NeedsDirection {
+		return t.Canonical()
+	}
+	return t, true
+}
+
+// fgIndex looks up (or installs) the FG key in the FG table and
+// returns its index, emitting an FGUpdate to the NIC on any change
+// (§5.1). On a collision with a different key the entry is
+// overwritten and re-synchronised; cells already batched under the
+// old key are misattributed on the NIC — counted in FGOverwrites and
+// one of the approximation sources bounded by Figure 10.
+func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
+	idx := flowkey.Hash32(key) % uint32(len(s.fgTable))
+	e := &s.fgTable[idx]
+	if !e.occupied || e.key != key {
+		if e.occupied {
+			s.stat.FGOverwrites++
+		}
+		e.occupied = true
+		e.key = key
+		s.emit(gpv.Message{FG: &gpv.FGUpdate{Index: uint16(idx), Key: key}})
+		s.stat.FGUpdates++
+	}
+	return uint16(idx)
+}
+
+// appendCell adds the cell to the group's buffers, handling the
+// short→long promotion and the buffer-full eviction (case 2 of
+// §5.2).
+func (s *Switch) appendCell(sl *slot, cell gpv.Cell) {
+	if len(sl.short) < s.cfg.ShortBufCells {
+		sl.short = append(sl.short, cell)
+		if len(sl.short) == s.cfg.ShortBufCells && sl.longIdx < 0 {
+			// Short buffer just filled for the first time: likely a
+			// long flow — try to pop a long buffer from the stack.
+			if n := len(s.stack); n > 0 && s.cfg.LongBufCells > 0 {
+				sl.longIdx = s.stack[n-1]
+				s.stack = s.stack[:n-1]
+				s.stat.LongBufGrants++
+			}
+		}
+		return
+	}
+	// Short buffer full.
+	if sl.longIdx >= 0 {
+		lb := s.longBufs[sl.longIdx]
+		if len(lb) < s.cfg.LongBufCells {
+			s.longBufs[sl.longIdx] = append(lb, cell)
+			if len(lb)+1 == s.cfg.LongBufCells {
+				// Long buffer now full: evict short+long, keep the
+				// long buffer owned so the still-active long flow can
+				// keep batching without re-contending for the stack.
+				s.evict(sl, gpv.EvictFull, false)
+			}
+			return
+		}
+		// Defensive: should have been evicted at fill time.
+		s.evict(sl, gpv.EvictFull, false)
+		s.longBufs[sl.longIdx] = append(s.longBufs[sl.longIdx], cell)
+		return
+	}
+	// No long buffer available: evict the short buffer and restart it.
+	s.evict(sl, gpv.EvictFull, false)
+	sl.short = append(sl.short, cell)
+}
+
+// evict emits the group's batched cells as one MGPV message and
+// clears its buffers. release controls whether an owned long buffer
+// is returned to the stack (collision and aging evictions release;
+// buffer-full evictions keep it, §5.2).
+func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
+	if !sl.occupied {
+		return
+	}
+	// Copy out of the buffers: the sink may retain the message while
+	// the slot's backing arrays are reused for the next batch.
+	cells := append([]gpv.Cell(nil), sl.short...)
+	if sl.longIdx >= 0 {
+		cells = append(cells, s.longBufs[sl.longIdx]...)
+		s.longBufs[sl.longIdx] = s.longBufs[sl.longIdx][:0]
+	}
+	if len(cells) > 0 {
+		v := &gpv.MGPV{CG: sl.key, Hash: sl.hash, Cells: cells, Reason: reason}
+		s.emit(gpv.Message{MGPV: v})
+		s.stat.Evictions[reason]++
+		s.stat.CellsOut += uint64(len(cells))
+	}
+	sl.short = sl.short[:0]
+	if release && sl.longIdx >= 0 {
+		s.stack = append(s.stack, sl.longIdx)
+		sl.longIdx = -1
+	}
+	if reason == gpv.EvictCollision || reason == gpv.EvictAging || reason == gpv.EvictFlush {
+		sl.occupied = false
+	}
+}
+
+// emit encodes the message, charges its bytes, and hands it to the
+// sink.
+func (s *Switch) emit(m gpv.Message) {
+	s.stat.MsgsOut++
+	s.stat.BytesOut += uint64(m.EncodedSize())
+	s.out(m)
+}
+
+// Flush evicts every resident group (end-of-trace drain) so no
+// batched metadata is lost. Eviction reason is EvictFlush, which the
+// aggregation-ratio accounting includes like any other eviction.
+func (s *Switch) Flush() {
+	for i := range s.slots {
+		if s.slots[i].occupied {
+			s.evict(&s.slots[i], gpv.EvictFlush, true)
+		}
+	}
+}
+
+// Occupancy returns the number of occupied CG slots and the number of
+// long buffers currently granted.
+func (s *Switch) Occupancy() (shortOccupied, longGranted int) {
+	for i := range s.slots {
+		if s.slots[i].occupied {
+			shortOccupied++
+			if s.slots[i].longIdx >= 0 {
+				longGranted++
+			}
+		}
+	}
+	return
+}
+
+// ActiveOccupied counts occupied slots and, of those, the ones whose
+// group received a packet within the window — the "buffer
+// efficiency" numerator/denominator of Figure 14.
+func (s *Switch) ActiveOccupied(window int64) (active, occupied int) {
+	for i := range s.slots {
+		if s.slots[i].occupied {
+			occupied++
+			if s.now-s.slots[i].lastAccess <= window {
+				active++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,492 @@
+package switchsim
+
+import (
+	"testing"
+
+	"superfe/internal/flowkey"
+	"superfe/internal/gpv"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+)
+
+// tinyConfig is a cache small enough to force every eviction path.
+func tinyConfig() Config {
+	return Config{
+		ShortBufCells: 2,
+		NumShort:      8,
+		LongBufCells:  4,
+		NumLong:       2,
+		FGTableSize:   16,
+		AgingScanNS:   100,
+	}
+}
+
+// flowPlan compiles a minimal single-granularity plan. t may be nil
+// (property-test closures); compile errors then panic, which is fine
+// for a statically valid test policy.
+func flowPlan(t *testing.T, g flowkey.Granularity) policy.SwitchPlan {
+	if t != nil {
+		t.Helper()
+	}
+	pol := policy.New("test").
+		GroupBy(g).
+		Reduce("size", policy.RF(0)). // f_sum
+		Collect().
+		MustBuild()
+	plan, err := policy.Compile(pol)
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	return plan.Switch
+}
+
+// multiGranPlan compiles a host+socket plan (MGPV with FG table).
+func multiGranPlan(t *testing.T) policy.SwitchPlan {
+	t.Helper()
+	pol := policy.New("test-multi").
+		GroupBy(flowkey.GranHost).
+		Reduce("size", policy.RF(0)).
+		Collect().
+		GroupBy(flowkey.GranSocket).
+		Reduce("size", policy.RF(1)). // f_mean
+		Collect().
+		MustBuild()
+	plan, err := policy.Compile(pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.Switch
+}
+
+func pkt(src, dst byte, sport uint16, size uint32, ts int64) packet.Packet {
+	return packet.Packet{
+		Tuple: flowkey.FiveTuple{
+			SrcIP: flowkey.IPv4(10, 0, 0, src), DstIP: flowkey.IPv4(10, 0, 1, dst),
+			SrcPort: sport, DstPort: 80, Proto: flowkey.ProtoTCP,
+		},
+		Size: size, Timestamp: ts, TTL: 64,
+	}
+}
+
+func collectSink() (*[]gpv.Message, func(gpv.Message)) {
+	var msgs []gpv.Message
+	return &msgs, func(m gpv.Message) { msgs = append(msgs, m) }
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := good
+	bad.ShortBufCells = 0
+	if bad.Validate() == nil {
+		t.Error("zero short buffers accepted")
+	}
+	bad = good
+	bad.FGTableSize = 0
+	if bad.Validate() == nil {
+		t.Error("zero FG table accepted")
+	}
+	bad = good
+	bad.AgingT = 100
+	bad.AgingScanNS = 0
+	if bad.Validate() == nil {
+		t.Error("aging without scan interval accepted")
+	}
+	if _, err := New(good, policy.SwitchPlan{Pred: policy.TruePred{}, Chain: []flowkey.Granularity{flowkey.GranFlow}}, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestCellConservation(t *testing.T) {
+	// Every admitted packet's cell must eventually be emitted exactly
+	// once (across evictions and the final flush).
+	msgs, sink := collectSink()
+	sw, err := New(tinyConfig(), flowPlan(t, flowkey.GranFlow), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		p := pkt(byte(i%16), byte(i%5), uint16(1000+i%7), 100, int64(i)*1000)
+		sw.Process(&p)
+	}
+	sw.Flush()
+	var cells int
+	for _, m := range *msgs {
+		if m.MGPV != nil {
+			cells += len(m.MGPV.Cells)
+		}
+	}
+	if cells != n {
+		t.Errorf("cells out = %d, want %d (conservation violated)", cells, n)
+	}
+	st := sw.Stats()
+	if st.CellsOut != n || st.PktsIn != n {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+}
+
+func TestFilterDropsPackets(t *testing.T) {
+	plan := flowPlan(t, flowkey.GranFlow)
+	plan.Pred = policy.TCPExists()
+	msgs, sink := collectSink()
+	sw, _ := New(tinyConfig(), plan, sink)
+	tcp := pkt(1, 1, 1000, 100, 0)
+	udp := tcp
+	udp.Tuple.Proto = flowkey.ProtoUDP
+	if !sw.Process(&tcp) {
+		t.Error("TCP packet filtered out")
+	}
+	if sw.Process(&udp) {
+		t.Error("UDP packet passed TCP filter")
+	}
+	sw.Flush()
+	var cells int
+	for _, m := range *msgs {
+		if m.MGPV != nil {
+			cells += len(m.MGPV.Cells)
+		}
+	}
+	if cells != 1 {
+		t.Errorf("cells = %d, want 1", cells)
+	}
+	if sw.Stats().PktsFiltered != 1 {
+		t.Errorf("filtered = %d", sw.Stats().PktsFiltered)
+	}
+}
+
+func TestShortBufferFullPromotesToLong(t *testing.T) {
+	msgs, sink := collectSink()
+	cfg := tinyConfig()
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	// One flow sending 2 (short) + 3 (long, fills at 4th long cell)...
+	// Send exactly short+long cells: 2+4 = 6 packets → one EvictFull
+	// carrying all 6 cells.
+	for i := 0; i < 6; i++ {
+		p := pkt(1, 1, 1000, 100, int64(i)*1000)
+		sw.Process(&p)
+	}
+	if len(*msgs) != 1 {
+		t.Fatalf("messages = %d, want 1 full eviction", len(*msgs))
+	}
+	v := (*msgs)[0].MGPV
+	if v == nil || v.Reason != gpv.EvictFull {
+		t.Fatalf("unexpected message: %+v", (*msgs)[0])
+	}
+	if len(v.Cells) != 6 {
+		t.Errorf("cells = %d, want 6 (short 2 + long 4)", len(v.Cells))
+	}
+	if sw.Stats().LongBufGrants != 1 {
+		t.Errorf("long grants = %d", sw.Stats().LongBufGrants)
+	}
+}
+
+func TestShortOnlyEvictionWhenStackEmpty(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumLong = 0
+	cfg.LongBufCells = 0
+	msgs, sink := collectSink()
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	for i := 0; i < 5; i++ {
+		p := pkt(1, 1, 1000, 100, int64(i))
+		sw.Process(&p)
+	}
+	sw.Flush()
+	// 2-cell short buffer with no long buffers: evict at packets 3
+	// and 5, flush carries the remainder.
+	var evictFull, cells int
+	for _, m := range *msgs {
+		if m.MGPV != nil {
+			cells += len(m.MGPV.Cells)
+			if m.MGPV.Reason == gpv.EvictFull {
+				evictFull++
+			}
+		}
+	}
+	if cells != 5 {
+		t.Errorf("cells = %d", cells)
+	}
+	if evictFull < 2 {
+		t.Errorf("full evictions = %d, want ≥2", evictFull)
+	}
+}
+
+func TestCollisionEviction(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumShort = 1 // everything collides
+	msgs, sink := collectSink()
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	a := pkt(1, 1, 1000, 100, 0)
+	b := pkt(2, 2, 2000, 100, 1000)
+	sw.Process(&a)
+	sw.Process(&b) // evicts a's group
+	if len(*msgs) != 1 {
+		t.Fatalf("messages = %d", len(*msgs))
+	}
+	v := (*msgs)[0].MGPV
+	if v.Reason != gpv.EvictCollision {
+		t.Errorf("reason = %v", v.Reason)
+	}
+	aKey, _ := flowkey.KeyFor(flowkey.GranFlow, a.Tuple)
+	if v.CG != aKey {
+		t.Errorf("evicted group = %v, want %v", v.CG, aKey)
+	}
+	if sw.Stats().Evictions[gpv.EvictCollision] != 1 {
+		t.Error("collision counter wrong")
+	}
+}
+
+func TestCollisionReleasesLongBuffer(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumShort = 1
+	cfg.NumLong = 1
+	_, sink := collectSink()
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	// Flow A fills its short buffer and takes the only long buffer.
+	for i := 0; i < 3; i++ {
+		p := pkt(1, 1, 1000, 100, int64(i))
+		sw.Process(&p)
+	}
+	if _, granted := sw.Occupancy(); granted != 1 {
+		t.Fatal("long buffer not granted")
+	}
+	// Flow B collides: A evicted, long buffer back on the stack.
+	p := pkt(2, 2, 2000, 100, 5000)
+	sw.Process(&p)
+	// B fills short and must be able to take the long buffer again.
+	for i := 0; i < 2; i++ {
+		q := pkt(2, 2, 2000, 100, int64(6000+i))
+		sw.Process(&q)
+	}
+	if _, granted := sw.Occupancy(); granted != 1 {
+		t.Error("long buffer was not recycled after collision eviction")
+	}
+}
+
+func TestAgingEvictsIdleGroups(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.AgingT = 10_000 // 10µs
+	cfg.AgingScanNS = 100
+	msgs, sink := collectSink()
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	p := pkt(1, 1, 1000, 100, 0)
+	sw.Process(&p)
+	// A packet from another flow far in the future drives the clock;
+	// the aging scan must evict the idle first group.
+	q := pkt(2, 2, 2000, 100, 1_000_000)
+	sw.Process(&q)
+	foundAging := false
+	for _, m := range *msgs {
+		if m.MGPV != nil && m.MGPV.Reason == gpv.EvictAging {
+			foundAging = true
+		}
+	}
+	if !foundAging {
+		t.Error("idle group not evicted by aging")
+	}
+	if sw.Stats().AgingChecks == 0 {
+		t.Error("no aging checks recorded")
+	}
+}
+
+func TestAgingDisabled(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.AgingT = 0
+	msgs, sink := collectSink()
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	p := pkt(1, 1, 1000, 100, 0)
+	sw.Process(&p)
+	q := pkt(2, 2, 2000, 100, 1_000_000_000)
+	sw.Process(&q)
+	for _, m := range *msgs {
+		if m.MGPV != nil && m.MGPV.Reason == gpv.EvictAging {
+			t.Fatal("aging fired while disabled")
+		}
+	}
+}
+
+func TestFGTableSyncAndIndices(t *testing.T) {
+	msgs, sink := collectSink()
+	sw, _ := New(tinyConfig(), multiGranPlan(t), sink)
+	a := pkt(1, 1, 1000, 100, 0)
+	b := pkt(1, 1, 2000, 100, 1000) // same host, different socket
+	sw.Process(&a)
+	sw.Process(&a) // same FG key: no second update
+	sw.Process(&b)
+	sw.Flush()
+	var updates []gpv.FGUpdate
+	var cells []gpv.Cell
+	for _, m := range *msgs {
+		if m.FG != nil {
+			updates = append(updates, *m.FG)
+		}
+		if m.MGPV != nil {
+			cells = append(cells, m.MGPV.Cells...)
+		}
+	}
+	if len(updates) != 2 {
+		t.Fatalf("FG updates = %d, want 2", len(updates))
+	}
+	if len(cells) != 3 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Cells must reference synced indices whose keys recover the
+	// original tuples.
+	idx := map[uint16]flowkey.FiveTuple{}
+	for _, u := range updates {
+		idx[u.Index] = u.Key
+	}
+	for i, c := range cells {
+		key, ok := idx[c.FGIndex]
+		if !ok {
+			t.Fatalf("cell %d references unsynced FG index %d", i, c.FGIndex)
+		}
+		tuple := key
+		if !c.Forward {
+			tuple = tuple.Reverse()
+		}
+		if tuple != a.Tuple && tuple != b.Tuple {
+			t.Errorf("cell %d recovers tuple %v", i, tuple)
+		}
+	}
+}
+
+func TestMultiGranStoresOneCopyPerPacket(t *testing.T) {
+	// The defining MGPV property (§5.1): metadata stored once per
+	// packet regardless of granularity count.
+	msgs, sink := collectSink()
+	sw, _ := New(tinyConfig(), multiGranPlan(t), sink)
+	const n = 100
+	for i := 0; i < n; i++ {
+		p := pkt(byte(i%3), 1, uint16(1000+i%11), 100, int64(i)*1000)
+		sw.Process(&p)
+	}
+	sw.Flush()
+	var cells int
+	for _, m := range *msgs {
+		if m.MGPV != nil {
+			cells += len(m.MGPV.Cells)
+		}
+	}
+	if cells != n {
+		t.Errorf("cells = %d, want %d (one per packet)", cells, n)
+	}
+}
+
+func TestDirectionBitAtSocketGranularity(t *testing.T) {
+	msgs, sink := collectSink()
+	sw, _ := New(tinyConfig(), flowPlan(t, flowkey.GranSocket), sink)
+	fwd := pkt(1, 1, 1000, 100, 0)
+	rev := packet.Packet{Tuple: fwd.Tuple.Reverse(), Size: 100, Timestamp: 1000}
+	sw.Process(&fwd)
+	sw.Process(&rev)
+	sw.Flush()
+	var cells []gpv.Cell
+	for _, m := range *msgs {
+		if m.MGPV != nil {
+			cells = append(cells, m.MGPV.Cells...)
+		}
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d (both directions must share a socket group)", len(cells))
+	}
+	if cells[0].Forward == cells[1].Forward {
+		t.Error("direction bit identical for opposite directions")
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	msgs, sink := collectSink()
+	sw, _ := New(tinyConfig(), flowPlan(t, flowkey.GranFlow), sink)
+	p := pkt(1, 1, 1000, 100, 0)
+	sw.Process(&p)
+	sw.Flush()
+	before := len(*msgs)
+	sw.Flush()
+	if len(*msgs) != before {
+		t.Error("second flush emitted messages")
+	}
+}
+
+func TestAggregationRatioBelowOne(t *testing.T) {
+	// With realistic packet sizes the MGPV stream must be far smaller
+	// than the raw traffic (Figure 12's premise).
+	_, sink := collectSink()
+	sw, _ := New(DefaultConfig(), flowPlan(t, flowkey.GranFlow), sink)
+	for i := 0; i < 10000; i++ {
+		p := pkt(byte(i%50), byte(i%20), uint16(1000+i%100), 800, int64(i)*10000)
+		sw.Process(&p)
+	}
+	sw.Flush()
+	if r := sw.Stats().AggregationRatio(); r > 0.2 {
+		t.Errorf("aggregation ratio %g, want < 0.2 (>80%% reduction)", r)
+	}
+}
+
+func TestGPVBankLinearCost(t *testing.T) {
+	plan := multiGranPlan(t)
+	cfg := tinyConfig()
+	_, sink := collectSink()
+	bank, err := NewGPVBank(cfg, plan, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bank.Granularities()) != 2 {
+		t.Fatalf("granularities = %d", len(bank.Granularities()))
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		p := pkt(byte(i%3), 1, uint16(1000+i%11), 100, int64(i)*1000)
+		bank.Process(&p)
+	}
+	bank.Flush()
+	st := bank.Stats()
+	// GPV batches every packet once per granularity.
+	if st.CellsOut != 2*n {
+		t.Errorf("GPV cells = %d, want %d", st.CellsOut, 2*n)
+	}
+	// Memory is the per-granularity sum.
+	single := ConfiguredMemoryBytes(cfg, plan)
+	if bank.ConfiguredMemoryBytes(cfg) <= single {
+		t.Error("GPV bank memory should exceed single MGPV deployment")
+	}
+}
+
+func TestEstimateResourcesMonotonic(t *testing.T) {
+	cfg := DefaultConfig()
+	single := EstimateResources(cfg, flowPlan(t, flowkey.GranFlow))
+	multi := EstimateResources(cfg, multiGranPlan(t))
+	if multi.Tables < single.Tables || multi.SALUs < single.SALUs || multi.SRAM < single.SRAM {
+		t.Errorf("multi-granularity plan must not use fewer resources: %+v vs %+v", multi, single)
+	}
+	for _, r := range []Resources{single, multi} {
+		for _, v := range []float64{r.Tables, r.SALUs, r.SRAM} {
+			if v <= 0 || v > 1 {
+				t.Errorf("utilization out of range: %+v", r)
+			}
+		}
+	}
+}
+
+func TestActiveOccupied(t *testing.T) {
+	_, sink := collectSink()
+	cfg := tinyConfig()
+	cfg.NumShort = 256 // avoid hash collisions between the two test flows
+	sw, _ := New(cfg, flowPlan(t, flowkey.GranFlow), sink)
+	p := pkt(1, 1, 1000, 100, 0)
+	sw.Process(&p)
+	q := pkt(2, 2, 2000, 100, 1_000_000)
+	sw.Process(&q)
+	active, occupied := sw.ActiveOccupied(10_000)
+	if occupied != 2 {
+		t.Fatalf("occupied = %d", occupied)
+	}
+	if active != 1 {
+		t.Errorf("active = %d, want 1 (first flow idle beyond window)", active)
+	}
+}

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"superfe/internal/packet"
+)
+
+// Trace file format ("SFT1"): a minimal packet-capture container so
+// generated workloads can be written to disk and replayed through the
+// real frame parser — the file holds full Ethernet frames, and Read
+// decodes them with packet.Parse exactly as the FE-Switch parser
+// would.
+//
+//	file   := magic:4 count:u32 record*
+//	record := ts:i64 label:u8 wirelen:u16 framelen:u16 frame
+//
+// wirelen preserves the original on-wire packet size: frames below
+// the minimum Ethernet/IPv4/TCP header length are padded by
+// packet.Marshal, and the reader restores Size from wirelen.
+var traceMagic = [4]byte{'S', 'F', 'T', '1'}
+
+// File I/O errors.
+var (
+	ErrBadMagic  = errors.New("trace: bad file magic")
+	ErrTruncated = errors.New("trace: truncated file")
+)
+
+// Write serialises the trace. Labels are written as 0 when the trace
+// carries none.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(t.Packets)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [13]byte
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		frame := packet.Marshal(*p)
+		if len(frame) > 0xffff {
+			return fmt.Errorf("trace: frame %d too large (%d bytes)", i, len(frame))
+		}
+		binary.BigEndian.PutUint64(rec[0:8], uint64(p.Timestamp))
+		if len(t.Labels) > i {
+			rec[8] = t.Labels[i]
+		} else {
+			rec[8] = 0
+		}
+		binary.BigEndian.PutUint16(rec[9:11], uint16(p.Size))
+		binary.BigEndian.PutUint16(rec[11:13], uint16(len(frame)))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace, running every frame through the real
+// packet parser. The Name is supplied by the caller (the format does
+// not store it). Labels are dropped when every record carries 0.
+func Read(r io.Reader, name string) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, mapEOF(err)
+	}
+	if magic != traceMagic {
+		return nil, ErrBadMagic
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, mapEOF(err)
+	}
+	count := binary.BigEndian.Uint32(hdr[:])
+	t := &Trace{Name: name}
+	var rec [13]byte
+	var anyLabel bool
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, mapEOF(err)
+		}
+		ts := int64(binary.BigEndian.Uint64(rec[0:8]))
+		label := rec[8]
+		wirelen := binary.BigEndian.Uint16(rec[9:11])
+		flen := int(binary.BigEndian.Uint16(rec[11:13]))
+		frame := make([]byte, flen)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, mapEOF(err)
+		}
+		p, err := packet.Parse(frame, ts)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		p.Size = uint32(wirelen) // restore sub-minimum-frame sizes
+		t.Packets = append(t.Packets, p)
+		t.Labels = append(t.Labels, label)
+		if label != 0 {
+			anyLabel = true
+		}
+	}
+	if !anyLabel {
+		t.Labels = nil
+	}
+	return t, nil
+}
+
+// mapEOF maps unexpected EOFs to ErrTruncated, passing other errors
+// through.
+func mapEOF(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncated
+	}
+	return err
+}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	cfg := CampusConfig
+	cfg.Flows = 80
+	orig := Generate(cfg, 61)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, orig.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Packets) != len(orig.Packets) {
+		t.Fatalf("packets: %d vs %d", len(got.Packets), len(orig.Packets))
+	}
+	for i := range orig.Packets {
+		o, g := &orig.Packets[i], &got.Packets[i]
+		if o.Tuple != g.Tuple || o.Timestamp != g.Timestamp || o.Size != g.Size || o.Flags != g.Flags {
+			t.Fatalf("packet %d: %+v vs %+v", i, o, g)
+		}
+	}
+	if got.Labels != nil {
+		t.Error("unlabeled trace gained labels")
+	}
+}
+
+func TestTraceFileLabelsRoundTrip(t *testing.T) {
+	orig := GenerateIntrusion(DefaultIntrusionConfig(AttackMirai), 63)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, orig.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labels) != len(orig.Labels) {
+		t.Fatalf("labels: %d vs %d", len(got.Labels), len(orig.Labels))
+	}
+	for i := range orig.Labels {
+		if got.Labels[i] != orig.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestTraceFileErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil), "x"); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOPE....")), "x"); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	// Truncated mid-record.
+	cfg := CampusConfig
+	cfg.Flows = 5
+	var buf bytes.Buffer
+	if err := Write(&buf, Generate(cfg, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(cut), "x"); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+}
