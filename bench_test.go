@@ -10,6 +10,8 @@
 package superfe_bench
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"superfe/internal/apps"
@@ -37,20 +39,9 @@ func enterprise() *trace.Trace {
 }
 
 var (
-	entOnce  syncOnce
+	entOnce  sync.Once
 	entTrace *trace.Trace
 )
-
-// syncOnce is a tiny sync.Once clone to keep the bench file's imports
-// visibly minimal.
-type syncOnce struct{ done bool }
-
-func (o *syncOnce) Do(f func()) {
-	if !o.done {
-		o.done = true
-		f()
-	}
-}
 
 func compileApp(b *testing.B, name string) *policy.Plan {
 	b.Helper()
@@ -130,6 +121,7 @@ func BenchmarkFig9PipelinePerPacket(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				fe.Process(&tr.Packets[i%len(tr.Packets)])
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 		})
 	}
 }
@@ -148,8 +140,65 @@ func BenchmarkFig9SoftwareBaselinePerPacket(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ext.Process(&tr.Packets[i%len(tr.Packets)])
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 		})
 	}
+}
+
+// --- Parallel engine: sharded scaling curve ----------------------------------
+
+// BenchmarkParallelPipeline measures end-to-end pkts/sec of the
+// sharded engine across worker counts — the host-core analogue of
+// Figure 16's NIC-core scaling. A full warmup pass populates every
+// group so the measured window is the steady-state hot path, which
+// must stay allocation-free (checked by -benchmem: 0 allocs/op).
+func BenchmarkParallelPipeline(b *testing.B) {
+	plan := compileApp(b, "NPOD")
+	tr := enterprise()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := core.DefaultParallelOptions()
+			opts.Workers = workers
+			pe, err := core.NewParallel(opts, plan.Policy, func(feature.Vector) {})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pe.Close()
+			// Warmup: admit every group and size every buffer.
+			for i := range tr.Packets {
+				pe.Process(&tr.Packets[i])
+			}
+			pe.Drain()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pe.Process(&tr.Packets[i%len(tr.Packets)])
+			}
+			pe.Drain()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkSequentialPipeline is the parity baseline for the
+// workers=1 comparison, on the same policy and trace.
+func BenchmarkSequentialPipeline(b *testing.B) {
+	plan := compileApp(b, "NPOD")
+	tr := enterprise()
+	fe, err := core.New(core.DefaultOptions(), plan.Policy, func(feature.Vector) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fe.Process(&tr.Packets[i%len(tr.Packets)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
 }
 
 func BenchmarkFig9ModeledThroughput(b *testing.B) {

@@ -21,7 +21,9 @@ import (
 	"superfe/internal/apps"
 	"superfe/internal/core"
 	"superfe/internal/feature"
+	"superfe/internal/nicsim"
 	"superfe/internal/policy"
+	"superfe/internal/switchsim"
 	"superfe/internal/trace"
 )
 
@@ -33,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "trace generator seed")
 	statsOnly := flag.Bool("stats", false, "print pipeline statistics instead of vectors")
 	maxVecs := flag.Int("n", 0, "emit at most n vectors (0 = all)")
+	workers := flag.Int("workers", 1, "shard the pipeline across n switch+NIC pairs (>1 uses the parallel engine)")
 	flag.Parse()
 
 	if *list {
@@ -89,26 +92,60 @@ func main() {
 		}
 		fmt.Println(strings.Join(cells, ","))
 	}
-	fe, err := core.New(core.DefaultOptions(), pol, sink)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "superfe:", err)
-		os.Exit(1)
+	var sw pipeStats
+	if *workers > 1 {
+		popts := core.DefaultParallelOptions()
+		popts.Workers = *workers
+		// Deterministic merge keeps the CSV stable run-to-run.
+		popts.DeterministicMerge = true
+		pe, err := core.NewParallel(popts, pol, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+		for i := range tr.Packets {
+			pe.Process(&tr.Packets[i])
+		}
+		if err := pe.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+		sw.sw, sw.nic = pe.SwitchStats(), pe.NICStats()
+		if err := pe.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+	} else {
+		fe, err := core.New(core.DefaultOptions(), pol, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+		for i := range tr.Packets {
+			fe.Process(&tr.Packets[i])
+		}
+		fe.Flush()
+		sw.sw, sw.nic = fe.SwitchStats(), fe.NICStats()
 	}
-	for i := range tr.Packets {
-		fe.Process(&tr.Packets[i])
-	}
-	fe.Flush()
 
 	if *statsOnly {
-		sw := fe.SwitchStats()
-		nic := fe.NICStats()
 		fmt.Printf("trace      : %s (%s)\n", tr.Name, tr.Stats())
-		fmt.Printf("switch     : %s\n", sw)
+		if *workers > 1 {
+			fmt.Printf("workers    : %d (per-shard stats merged)\n", *workers)
+		}
+		fmt.Printf("switch     : %s\n", sw.sw)
 		fmt.Printf("nic        : msgs=%d mgpvs=%d cells=%d vectors=%d groups=%d\n",
-			nic.Msgs, nic.MGPVs, nic.Cells, nic.Vectors, nic.GroupsLive)
-		fmt.Printf("aggregation: %.4f (%.2f%% reduction)\n", sw.AggregationRatio(), 100*(1-sw.AggregationRatio()))
+			sw.nic.Msgs, sw.nic.MGPVs, sw.nic.Cells, sw.nic.Vectors, sw.nic.GroupsLive)
+		fmt.Printf("aggregation: %.4f (%.2f%% reduction)\n", sw.sw.AggregationRatio(), 100*(1-sw.sw.AggregationRatio()))
 		fmt.Printf("vectors    : %d of dim %d\n", emitted, pol.FeatureDim())
 	}
+}
+
+// pipeStats bundles the merged pipeline counters from either
+// engine for the -stats report.
+type pipeStats struct {
+	sw  switchsim.Stats
+	nic nicsim.RuntimeStats
 }
 
 func makeTrace(name string, seed int64) (*trace.Trace, error) {

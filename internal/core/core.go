@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"superfe/internal/feature"
+	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
 	"superfe/internal/nicsim"
 	"superfe/internal/packet"
@@ -49,11 +50,12 @@ func DefaultOptions() Options {
 // SuperFE is one deployed feature extractor: a policy compiled onto a
 // switch instance and a NIC runtime.
 type SuperFE struct {
-	opts Options
-	plan *policy.Plan
-	sw   *switchsim.Switch
-	nic  *nicsim.Runtime
-	enc  []byte
+	opts    Options
+	plan    *policy.Plan
+	sw      *switchsim.Switch
+	nic     *nicsim.Runtime
+	enc     []byte // wire-verify scratch; one per engine, so shards never share
+	wireErr error
 }
 
 // New compiles the policy and deploys it.
@@ -62,30 +64,51 @@ func New(opts Options, pol *policy.Policy, sink feature.Sink) (*SuperFE, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: compile %q: %w", pol.Name(), err)
 	}
+	return newFromPlan(opts, plan, sink)
+}
+
+// newFromPlan deploys an already-compiled plan (the parallel engine
+// compiles once and deploys one pair per shard).
+func newFromPlan(opts Options, plan *policy.Plan, sink feature.Sink) (*SuperFE, error) {
+	// The switch's sink is fe.deliver, which hands each message to the
+	// NIC runtime (or the wire codec) synchronously and never retains
+	// it — so the switch can safely reuse its cell and message
+	// buffers, keeping the steady-state per-packet path free of
+	// allocations.
+	opts.Switch.ZeroCopy = true
 	fe := &SuperFE{opts: opts, plan: plan}
+	var err error
 	fe.nic, err = nicsim.NewRuntime(opts.NIC, plan, sink)
 	if err != nil {
-		return nil, fmt.Errorf("core: FE-NIC for %q: %w", pol.Name(), err)
+		return nil, fmt.Errorf("core: FE-NIC for %q: %w", plan.Policy.Name(), err)
 	}
 	fe.sw, err = switchsim.New(opts.Switch, plan.Switch, fe.deliver)
 	if err != nil {
-		return nil, fmt.Errorf("core: FE-Switch for %q: %w", pol.Name(), err)
+		return nil, fmt.Errorf("core: FE-Switch for %q: %w", plan.Policy.Name(), err)
 	}
 	return fe, nil
 }
 
 // deliver carries one message over the switch→NIC channel, optionally
-// through the wire codec.
+// through the wire codec. A round-trip failure is recorded (first
+// error wins, surfaced by Err) and the message is dropped, modelling
+// a corrupted link transfer, rather than panicking mid-pipeline.
 func (fe *SuperFE) deliver(m gpv.Message) {
 	if fe.opts.VerifyWire {
-		var err error
-		fe.enc, err = m.Marshal(fe.enc[:0])
+		enc, err := m.Marshal(fe.enc[:0])
+		fe.enc = enc
 		if err != nil {
-			panic(fmt.Sprintf("core: marshal: %v", err))
+			fe.fail(fmt.Errorf("core: marshal: %w", err))
+			return
 		}
 		dec, n, err := gpv.Unmarshal(fe.enc)
-		if err != nil || n != len(fe.enc) {
-			panic(fmt.Sprintf("core: wire round-trip failed: %v (n=%d len=%d)", err, n, len(fe.enc)))
+		if err != nil {
+			fe.fail(fmt.Errorf("core: wire round-trip failed: %w", err))
+			return
+		}
+		if n != len(fe.enc) {
+			fe.fail(fmt.Errorf("core: wire round-trip consumed %d of %d bytes", n, len(fe.enc)))
+			return
 		}
 		fe.nic.Process(dec)
 		return
@@ -93,10 +116,27 @@ func (fe *SuperFE) deliver(m gpv.Message) {
 	fe.nic.Process(m)
 }
 
+// fail records the first wire error.
+func (fe *SuperFE) fail(err error) {
+	if fe.wireErr == nil {
+		fe.wireErr = err
+	}
+}
+
+// Err returns the first wire round-trip failure observed by the
+// verify path, or nil. Only VerifyWire deployments can fail.
+func (fe *SuperFE) Err() error { return fe.wireErr }
+
 // Process runs one packet through the deployed extractor. It returns
 // whether the packet passed the policy filter.
 func (fe *SuperFE) Process(p *packet.Packet) bool {
 	return fe.sw.Process(p)
+}
+
+// processKeyed is Process with the CG key and hash precomputed by the
+// parallel engine's router.
+func (fe *SuperFE) processKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
+	return fe.sw.ProcessKeyed(p, cgKey, hash)
 }
 
 // Flush drains the switch cache and emits per-group feature vectors.

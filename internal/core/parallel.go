@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"superfe/internal/feature"
+	"superfe/internal/flowkey"
+	"superfe/internal/nicsim"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/switchsim"
+)
+
+// ParallelOptions configures a sharded deployment.
+type ParallelOptions struct {
+	Options
+	// Workers is the number of shards (switch+NIC pairs), each owned
+	// by one goroutine — the analogue of NIC cores fed by the NBI
+	// distributor.
+	Workers int
+	// BatchSize is the number of packets handed to a shard per
+	// channel operation; batching amortizes the synchronization cost
+	// the way the MGPV batches amortize the switch→NIC channel.
+	BatchSize int
+	// QueueDepth is the number of batches that may be in flight per
+	// shard before Process applies backpressure.
+	QueueDepth int
+	// DeterministicMerge buffers each shard's vectors and emits them
+	// in shard order at Flush, making the output sequence
+	// deterministic run-to-run (each shard's own stream already is).
+	// Without it vectors stream to the sink as produced, serialised
+	// by a mutex but interleaved nondeterministically.
+	DeterministicMerge bool
+}
+
+// DefaultParallelOptions returns the default sharded configuration:
+// 4 workers, 256-packet batches. The batch default keeps the per-packet
+// hand-off cost low enough that a single-worker deployment matches the
+// sequential engine; smaller batches trade throughput for lower
+// per-shard latency.
+func DefaultParallelOptions() ParallelOptions {
+	return ParallelOptions{
+		Options:    DefaultOptions(),
+		Workers:    4,
+		BatchSize:  256,
+		QueueDepth: 4,
+	}
+}
+
+// batch is one unit of router→shard hand-off: the packets plus their
+// router-computed CG keys and hashes (the shard's switch reuses them
+// instead of rehashing — §6.2's hash-reuse optimization applied one
+// hop earlier). Batches are recycled through each shard's free list,
+// so the steady state allocates nothing.
+type batch struct {
+	pkts   []*packet.Packet
+	keys   []flowkey.Key
+	hashes []uint32
+}
+
+func (b *batch) reset() {
+	b.pkts = b.pkts[:0]
+	b.keys = b.keys[:0]
+	b.hashes = b.hashes[:0]
+}
+
+// shardMsg is one message on a shard's input channel: either a batch
+// of packets or a control barrier (with optional flush).
+type shardMsg struct {
+	b     *batch
+	ctl   chan<- struct{} // non-nil: acknowledge after processing
+	flush bool            // with ctl: flush the shard's switch+NIC first
+}
+
+// pshard is one worker-owned switch+NIC pair.
+type pshard struct {
+	fe   *SuperFE
+	in   chan shardMsg
+	free chan *batch
+	cur  *batch // router-side batch being filled
+	vecs []feature.Vector
+	done chan struct{}
+}
+
+// ParallelEngine is a sharded SuperFE deployment — the software
+// analogue of the hardware parallelism the paper scales on. The
+// prototype distributes work across the Tofino pipeline plus the
+// NFP-4000's islands × cores × 8 threads, with the ingress NBI
+// sharding flows per-IP so cores share no state (§6.2).
+// ParallelEngine reproduces that shape on host cores: packets are
+// sharded by coarsest-granularity key hash across Workers independent
+// switch+NIC pairs, each owned by one worker goroutine and fed
+// through batched, buffer-recycling channels, so shards run without
+// locks and the hot path performs no steady-state allocations.
+//
+// Process routes packets; Flush drains; the stats methods merge shard
+// counters. Process and Flush must be called from one goroutine (the
+// router), exactly like the sequential engine.
+type ParallelEngine struct {
+	opts   ParallelOptions
+	plan   *policy.Plan
+	pred   policy.Predicate
+	cg     flowkey.Granularity
+	shards []*pshard
+	sink   feature.Sink
+	sinkMu sync.Mutex
+	closed bool
+}
+
+// NewParallel compiles the policy once and deploys it on Workers
+// shards. MGPVs of one CG group always land on the same shard, so
+// per-group feature streams — and therefore the emitted vectors — are
+// identical to a sequential run's, as a multiset.
+func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*ParallelEngine, error) {
+	if opts.Workers <= 0 {
+		return nil, fmt.Errorf("core: parallel engine needs at least one worker, got %d", opts.Workers)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 256
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("core: nil sink")
+	}
+	plan, err := policy.Compile(pol)
+	if err != nil {
+		return nil, fmt.Errorf("core: compile %q: %w", pol.Name(), err)
+	}
+	e := &ParallelEngine{
+		opts: opts,
+		plan: plan,
+		pred: plan.Switch.Pred,
+		cg:   plan.Switch.CG,
+		sink: sink,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		sh := &pshard{
+			in:   make(chan shardMsg, opts.QueueDepth),
+			free: make(chan *batch, opts.QueueDepth+1),
+			done: make(chan struct{}),
+		}
+		var shardSink feature.Sink
+		if opts.DeterministicMerge {
+			// Shard-local buffer: no lock needed, emitted in shard
+			// order at Flush.
+			shardSink = feature.Collect(&sh.vecs)
+		} else {
+			shardSink = func(v feature.Vector) {
+				e.sinkMu.Lock()
+				e.sink(v)
+				e.sinkMu.Unlock()
+			}
+		}
+		sh.fe, err = newFromPlan(opts.Options, plan, shardSink)
+		if err != nil {
+			e.stop()
+			return nil, err
+		}
+		// Pre-size the recycled batches: one being filled by the
+		// router, QueueDepth in flight or free.
+		sh.cur = newBatch(opts.BatchSize)
+		for j := 0; j < opts.QueueDepth; j++ {
+			sh.free <- newBatch(opts.BatchSize)
+		}
+		e.shards = append(e.shards, sh)
+		go sh.run()
+	}
+	return e, nil
+}
+
+func newBatch(n int) *batch {
+	return &batch{
+		pkts:   make([]*packet.Packet, 0, n),
+		keys:   make([]flowkey.Key, 0, n),
+		hashes: make([]uint32, 0, n),
+	}
+}
+
+// run is the shard worker loop: drain batches, honour barriers.
+func (sh *pshard) run() {
+	defer close(sh.done)
+	for msg := range sh.in {
+		if msg.ctl != nil {
+			if msg.flush {
+				sh.fe.Flush()
+			}
+			msg.ctl <- struct{}{}
+			continue
+		}
+		b := msg.b
+		for i, p := range b.pkts {
+			sh.fe.processKeyed(p, b.keys[i], b.hashes[i])
+		}
+		b.reset()
+		sh.free <- b
+	}
+}
+
+// shardIndex maps a key hash onto a shard with a multiply-shift
+// (fastrange), which keys off the hash's HIGH bits. The switch's slot
+// index is hash % NumShort — the LOW bits — so shard choice and slot
+// choice stay independent: with hash%N sharding every shard would
+// only ever touch 1/N of its own cache slots.
+func shardIndex(h uint32, n int) int {
+	return int((uint64(h) * uint64(n)) >> 32)
+}
+
+// Process routes one packet to its shard, handing off a batch when
+// full. It returns whether the packet passes the policy filter (the
+// same decision the shard's switch will make).
+func (e *ParallelEngine) Process(p *packet.Packet) bool {
+	key, _ := flowkey.KeyFor(e.cg, p.Tuple)
+	h := flowkey.HashKey(key)
+	sh := e.shards[shardIndex(h, len(e.shards))]
+	b := sh.cur
+	b.pkts = append(b.pkts, p)
+	b.keys = append(b.keys, key)
+	b.hashes = append(b.hashes, h)
+	if len(b.pkts) >= e.opts.BatchSize {
+		e.dispatch(sh)
+	}
+	return e.pred.Eval(p)
+}
+
+// dispatch hands the shard's current batch to its worker and pulls a
+// recycled one from the free list (blocking = backpressure).
+func (e *ParallelEngine) dispatch(sh *pshard) {
+	sh.in <- shardMsg{b: sh.cur}
+	sh.cur = <-sh.free
+}
+
+// barrier dispatches partial batches and waits until every shard has
+// drained its queue (optionally flushing shard state first).
+func (e *ParallelEngine) barrier(flush bool) {
+	ack := make(chan struct{}, len(e.shards))
+	for _, sh := range e.shards {
+		if len(sh.cur.pkts) > 0 {
+			e.dispatch(sh)
+		}
+		sh.in <- shardMsg{ctl: ack, flush: flush}
+	}
+	for range e.shards {
+		<-ack
+	}
+}
+
+// Drain blocks until every packet handed to Process so far has been
+// fully processed by its shard, without evicting any state — the
+// quiescence point for reading mid-trace stats.
+func (e *ParallelEngine) Drain() {
+	e.barrier(false)
+}
+
+// Flush drains all shards, evicts every resident group (switch cache
+// and NIC state) and, in DeterministicMerge mode, emits the buffered
+// vectors in shard order. It returns the first wire-verify error any
+// shard recorded, if any.
+func (e *ParallelEngine) Flush() error {
+	if e.closed {
+		return fmt.Errorf("core: parallel engine is closed")
+	}
+	e.barrier(true)
+	if e.opts.DeterministicMerge {
+		for _, sh := range e.shards {
+			for i := range sh.vecs {
+				e.sink(sh.vecs[i])
+			}
+			sh.vecs = sh.vecs[:0]
+		}
+	}
+	return e.Err()
+}
+
+// Close drains in-flight work and stops the workers. Unflushed state
+// is discarded; call Flush first to emit it. The engine cannot be
+// used after Close.
+func (e *ParallelEngine) Close() error {
+	if e.closed {
+		return e.Err()
+	}
+	e.barrier(false)
+	e.stop()
+	return e.Err()
+}
+
+// stop terminates the started workers (also the constructor's error
+// path, where later shards may not exist yet).
+func (e *ParallelEngine) stop() {
+	for _, sh := range e.shards {
+		close(sh.in)
+	}
+	for _, sh := range e.shards {
+		<-sh.done
+	}
+	e.closed = true
+}
+
+// Err returns the first wire round-trip failure recorded by any
+// shard. Only meaningful at a quiescence point (after Flush, Drain or
+// Close), which Flush and Close already establish.
+func (e *ParallelEngine) Err() error {
+	for _, sh := range e.shards {
+		if err := sh.fe.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workers returns the shard count.
+func (e *ParallelEngine) Workers() int { return len(e.shards) }
+
+// Plan exposes the compiled plan shared by all shards.
+func (e *ParallelEngine) Plan() *policy.Plan { return e.plan }
+
+// SwitchStats sums the per-shard FE-Switch counters. Conservation
+// quantities (packets, bytes, cells out) equal a sequential run's on
+// the same trace; collision-dependent counters depend on the cache
+// partitioning. Establishes a Drain barrier.
+func (e *ParallelEngine) SwitchStats() switchsim.Stats {
+	e.quiesce()
+	var total switchsim.Stats
+	for _, sh := range e.shards {
+		total.Add(sh.fe.SwitchStats())
+	}
+	return total
+}
+
+// NICStats sums the per-shard FE-NIC counters. Establishes a Drain
+// barrier.
+func (e *ParallelEngine) NICStats() nicsim.RuntimeStats {
+	e.quiesce()
+	var total nicsim.RuntimeStats
+	for _, sh := range e.shards {
+		total.Add(sh.fe.NICStats())
+	}
+	return total
+}
+
+// NICStateBytes sums the live NIC state footprint across shards.
+// Establishes a Drain barrier.
+func (e *ParallelEngine) NICStateBytes() int {
+	e.quiesce()
+	total := 0
+	for _, sh := range e.shards {
+		total += sh.fe.NICStateBytes()
+	}
+	return total
+}
+
+func (e *ParallelEngine) quiesce() {
+	if !e.closed {
+		e.barrier(false)
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"superfe/internal/apps"
+	"superfe/internal/feature"
+	"superfe/internal/gpv"
+	"superfe/internal/trace"
+)
+
+// vectorMultiset renders vectors as sorted strings so two runs can be
+// compared as multisets, independent of emission order. Values use
+// the hex float format: bit-exact, no rounding ambiguity.
+func vectorMultiset(t *testing.T, vecs []feature.Vector) []string {
+	t.Helper()
+	out := make([]string, 0, len(vecs))
+	var sb strings.Builder
+	for _, v := range vecs {
+		sb.Reset()
+		sb.WriteString(v.Key.String())
+		for _, x := range v.Values {
+			sb.WriteByte('|')
+			sb.WriteString(strconv.FormatFloat(x, 'x', -1, 64))
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelMatchesSequential is the central scaling-fidelity
+// check: the same ENTERPRISE trace through the sequential engine and
+// a 4-worker ParallelEngine must produce the same feature-vector
+// multiset and the same conservation stats. Per-group cell streams
+// are preserved because all MGPVs of one CG group hash to one shard.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 400
+	tr := trace.Generate(cfg, 42)
+
+	seqVecs, seqSelected := []feature.Vector{}, 0
+	fe, err := New(DefaultOptions(), apps.NPOD(), feature.Collect(&seqVecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		if fe.Process(&tr.Packets[i]) {
+			seqSelected++
+		}
+	}
+	fe.Flush()
+	seqSW, seqNIC := fe.SwitchStats(), fe.NICStats()
+
+	parVecs, parSelected := []feature.Vector{}, 0
+	popts := DefaultParallelOptions()
+	popts.Workers = 4
+	popts.DeterministicMerge = true
+	pe, err := NewParallel(popts, apps.NPOD(), feature.Collect(&parVecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		if pe.Process(&tr.Packets[i]) {
+			parSelected++
+		}
+	}
+	if err := pe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	parSW, parNIC := pe.SwitchStats(), pe.NICStats()
+	if err := pe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if seqSelected != parSelected {
+		t.Errorf("filter decisions: sequential %d vs parallel %d", seqSelected, parSelected)
+	}
+	// Conservation stats must sum to the sequential totals.
+	if parSW.PktsIn != seqSW.PktsIn || parSW.BytesIn != seqSW.BytesIn ||
+		parSW.PktsFiltered != seqSW.PktsFiltered || parSW.CellsOut != seqSW.CellsOut {
+		t.Errorf("switch stats diverge: parallel %+v vs sequential %+v", parSW, seqSW)
+	}
+	if parNIC.Cells != seqNIC.Cells || parNIC.Vectors != seqNIC.Vectors {
+		t.Errorf("nic stats diverge: parallel cells=%d vectors=%d vs sequential cells=%d vectors=%d",
+			parNIC.Cells, parNIC.Vectors, seqNIC.Cells, seqNIC.Vectors)
+	}
+
+	// Feature vectors must match as a multiset, bit-exactly.
+	sm, pm := vectorMultiset(t, seqVecs), vectorMultiset(t, parVecs)
+	if len(sm) != len(pm) {
+		t.Fatalf("vector counts: sequential %d vs parallel %d", len(sm), len(pm))
+	}
+	for i := range sm {
+		if sm[i] != pm[i] {
+			t.Fatalf("vector multiset diverges at %d:\n  sequential %s\n  parallel   %s", i, sm[i], pm[i])
+		}
+	}
+}
+
+// TestParallelSingleWorkerMatchesSequential pins the workers=1 case:
+// one shard must behave exactly like the sequential engine (same
+// cache geometry, same hash→slot mapping), so even the
+// collision-dependent counters agree.
+func TestParallelSingleWorkerMatchesSequential(t *testing.T) {
+	cfg := trace.CampusConfig
+	cfg.Flows = 200
+	tr := trace.Generate(cfg, 7)
+
+	var seqVecs []feature.Vector
+	fe, err := New(DefaultOptions(), statsPolicy(), feature.Collect(&seqVecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+
+	var parVecs []feature.Vector
+	popts := DefaultParallelOptions()
+	popts.Workers = 1
+	popts.DeterministicMerge = true
+	pe, err := NewParallel(popts, statsPolicy(), feature.Collect(&parVecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		pe.Process(&tr.Packets[i])
+	}
+	if err := pe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pe.SwitchStats(), fe.SwitchStats(); got != want {
+		t.Errorf("one-shard switch stats = %+v, want %+v", got, want)
+	}
+	if err := pe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sm, pm := vectorMultiset(t, seqVecs), vectorMultiset(t, parVecs)
+	if len(sm) != len(pm) {
+		t.Fatalf("vector counts: sequential %d vs parallel %d", len(sm), len(pm))
+	}
+	for i := range sm {
+		if sm[i] != pm[i] {
+			t.Fatalf("vector multiset diverges at %d", i)
+		}
+	}
+}
+
+// TestParallelDeterministicMerge runs the parallel engine twice and
+// requires identical output sequences (not just multisets).
+func TestParallelDeterministicMerge(t *testing.T) {
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 150
+	tr := trace.Generate(cfg, 11)
+	run := func() []feature.Vector {
+		var vecs []feature.Vector
+		popts := DefaultParallelOptions()
+		popts.Workers = 3
+		popts.BatchSize = 16
+		popts.DeterministicMerge = true
+		pe, err := NewParallel(popts, apps.NPOD(), feature.Collect(&vecs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range tr.Packets {
+			pe.Process(&tr.Packets[i])
+		}
+		if err := pe.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pe.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return vecs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic vector count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || len(a[i].Values) != len(b[i].Values) {
+			t.Fatalf("nondeterministic vector %d", i)
+		}
+		for j := range a[i].Values {
+			if a[i].Values[j] != b[i].Values[j] {
+				t.Fatalf("nondeterministic value at vector %d index %d", i, j)
+			}
+		}
+	}
+}
+
+// TestParallelWireVerify runs the parallel engine with the wire codec
+// enabled on every shard: per-shard encode buffers must not race
+// (exercised under -race) and the output must survive the round trip.
+func TestParallelWireVerify(t *testing.T) {
+	cfg := trace.CampusConfig
+	cfg.Flows = 120
+	tr := trace.Generate(cfg, 5)
+	n := 0
+	popts := DefaultParallelOptions()
+	popts.Workers = 4
+	popts.VerifyWire = true
+	pe, err := NewParallel(popts, statsPolicy(), func(feature.Vector) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		pe.Process(&tr.Packets[i])
+	}
+	if err := pe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no vectors emitted through the wire-verify path")
+	}
+}
+
+// TestParallelFlushReuse checks that the engine keeps working across
+// Flush cycles (workers stay alive until Close).
+func TestParallelFlushReuse(t *testing.T) {
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 80
+	tr := trace.Generate(cfg, 3)
+	count := 0
+	popts := DefaultParallelOptions()
+	popts.Workers = 2
+	pe, err := NewParallel(popts, apps.NPOD(), func(feature.Vector) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		before := count
+		for i := range tr.Packets {
+			pe.Process(&tr.Packets[i])
+		}
+		if err := pe.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if count == before {
+			t.Fatalf("round %d emitted no vectors", round)
+		}
+	}
+	stats := pe.SwitchStats()
+	if want := uint64(3 * len(tr.Packets)); stats.PktsIn != want {
+		t.Errorf("PktsIn = %d, want %d", stats.PktsIn, want)
+	}
+	if err := pe.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelRejectsBadConfig pins constructor validation.
+func TestParallelRejectsBadConfig(t *testing.T) {
+	if _, err := NewParallel(ParallelOptions{Options: DefaultOptions()}, apps.NPOD(), func(feature.Vector) {}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	popts := DefaultParallelOptions()
+	if _, err := NewParallel(popts, apps.NPOD(), nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+// TestDeliverRecordsWireError feeds the verify path a message the
+// codec must reject and checks the engine records an error instead of
+// panicking.
+func TestDeliverRecordsWireError(t *testing.T) {
+	opts := DefaultOptions()
+	opts.VerifyWire = true
+	fe, err := New(opts, statsPolicy(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inconsistent cell shapes make Marshal fail with ErrCellShape.
+	bad := gpv.Message{MGPV: &gpv.MGPV{Cells: []gpv.Cell{
+		{Values: []uint32{1, 2}},
+		{Values: []uint32{1}},
+	}}}
+	fe.deliver(bad)
+	if fe.Err() == nil {
+		t.Fatal("wire error not recorded")
+	}
+	// First error wins; pipeline keeps operating.
+	first := fe.Err()
+	fe.deliver(bad)
+	if fe.Err() != first {
+		t.Error("first error not preserved")
+	}
+}

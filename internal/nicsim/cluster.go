@@ -82,15 +82,7 @@ func (c *Cluster) Close() RuntimeStats {
 	var total RuntimeStats
 	for _, rt := range c.shards {
 		rt.Flush()
-		s := rt.Stats()
-		total.Msgs += s.Msgs
-		total.MGPVs += s.MGPVs
-		total.FGUpdates += s.FGUpdates
-		total.Cells += s.Cells
-		total.UnknownFG += s.UnknownFG
-		total.Vectors += s.Vectors
-		total.GroupsLive += s.GroupsLive
-		total.DRAMEntries += s.DRAMEntries
+		total.Add(rt.Stats())
 	}
 	return total
 }

@@ -32,7 +32,22 @@ type Runtime struct {
 	groups map[flowkey.Key]*group
 	sink   feature.Sink
 	stats  RuntimeStats
+
+	// Slab allocator for group state: groups, their reducer slices and
+	// scratch slices are carved from block allocations so admitting a
+	// new group costs amortized fractions of an allocation instead of
+	// three — the map-churn pooling of the parallel-engine hot path.
+	slabGroups  []group
+	slabReds    []streaming.Reducer
+	slabScratch []scratchCell
+
+	// ppVals is the reused accumulation buffer for per-packet collect
+	// values; sinks must not retain vector Values past the call.
+	ppVals []float64
 }
+
+// groupSlab is the slab block size (groups per allocation).
+const groupSlab = 64
 
 type fgSlot struct {
 	key flowkey.FiveTuple
@@ -49,6 +64,21 @@ type RuntimeStats struct {
 	Vectors     uint64
 	GroupsLive  int
 	DRAMEntries int // group-table entries past the fixed chain (modelled)
+}
+
+// Add accumulates another runtime's counters — merging shard stats
+// for the Cluster and the core parallel engine. Note FG updates are
+// broadcast to every shard, so the merged FGUpdates (and therefore
+// Msgs) count each update once per shard.
+func (s *RuntimeStats) Add(o RuntimeStats) {
+	s.Msgs += o.Msgs
+	s.MGPVs += o.MGPVs
+	s.FGUpdates += o.FGUpdates
+	s.Cells += o.Cells
+	s.UnknownFG += o.UnknownFG
+	s.Vectors += o.Vectors
+	s.GroupsLive += o.GroupsLive
+	s.DRAMEntries += o.DRAMEntries
 }
 
 // instruction is one compiled NIC stage for one granularity.
@@ -78,6 +108,7 @@ type program struct {
 	instrs      []instruction
 	numEnv      int
 	numScratch  int
+	env         []int64             // per-cell evaluation scratch, reused (one runtime = one goroutine)
 	reducerSpec []policy.ReduceSpec // constructors for group.reducers
 	// emits lists, per collect op in policy order at this
 	// granularity, which reducer range it snapshots and any
@@ -224,15 +255,32 @@ func compileProgram(plan *policy.Plan, g flowkey.Granularity, fieldPos map[packe
 		}
 	}
 	flushEmit(false)
+	pr.env = make([]int64, pr.numEnv)
 	return pr, nil
 }
 
-// newGroup allocates a group's state for a program.
+// newGroup allocates a group's state for a program, carving the
+// group, reducer and scratch storage out of slab blocks.
 func (r *Runtime) newGroup(pr *program, key flowkey.Key) *group {
-	g := &group{
-		key:      key,
-		reducers: make([]streaming.Reducer, len(pr.reducerSpec)),
-		scratch:  make([]scratchCell, pr.numScratch),
+	if len(r.slabGroups) == 0 {
+		r.slabGroups = make([]group, groupSlab)
+	}
+	g := &r.slabGroups[0]
+	r.slabGroups = r.slabGroups[1:]
+	g.key = key
+	if n := len(pr.reducerSpec); n > 0 {
+		if len(r.slabReds) < n {
+			r.slabReds = make([]streaming.Reducer, n*groupSlab)
+		}
+		g.reducers = r.slabReds[:n:n]
+		r.slabReds = r.slabReds[n:]
+	}
+	if n := pr.numScratch; n > 0 {
+		if len(r.slabScratch) < n {
+			r.slabScratch = make([]scratchCell, n*groupSlab)
+		}
+		g.scratch = r.slabScratch[:n:n]
+		r.slabScratch = r.slabScratch[n:]
 	}
 	for i, rf := range pr.reducerSpec {
 		if r.cfg.Naive {
@@ -314,8 +362,8 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 				tuple = tuple.Reverse()
 			}
 		}
-		var perPacketVals []float64
-		var perPacketEmit bool
+		perPacketVals := r.ppVals[:0]
+		perPacketEmit := false
 		for _, pr := range r.programs {
 			key, fwd := flowkey.KeyFor(pr.gran, tuple)
 			g, ok := r.groups[key]
@@ -323,16 +371,15 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 				g = r.newGroup(pr, key)
 				r.groups[key] = g
 			}
-			vals, emitted := r.runCell(pr, g, cell, fwd)
-			if emitted {
-				perPacketEmit = true
-				perPacketVals = append(perPacketVals, vals...)
-			}
+			vals, emitted := r.runCell(pr, g, cell, fwd, perPacketVals)
+			perPacketVals = vals
+			perPacketEmit = perPacketEmit || emitted
 		}
 		if perPacketEmit {
 			fgKey, _ := flowkey.KeyFor(r.plan.Switch.FG, tuple)
 			r.emitVector(fgKey, r.cellTimestamp(cell), perPacketVals)
 		}
+		r.ppVals = perPacketVals[:0] // retain the backing array for the next cell
 	}
 }
 
@@ -346,11 +393,11 @@ func (r *Runtime) cellTimestamp(cell *gpv.Cell) int64 {
 	return 0
 }
 
-// runCell executes one granularity's program over one cell. It
-// returns the concatenated per-packet collect values when the
-// program has per-packet emits.
-func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool) ([]float64, bool) {
-	env := make([]int64, pr.numEnv)
+// runCell executes one granularity's program over one cell,
+// appending any per-packet collect values to dst. It returns the
+// extended dst and whether the program has per-packet emits.
+func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst []float64) ([]float64, bool) {
+	env := pr.env // reused across cells; every slot is written before it is read
 	load := func(ref valueRef) int64 {
 		if ref.fromEnv {
 			return env[ref.idx]
@@ -428,29 +475,32 @@ func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool) ([]fl
 	g.lastTS = ts
 
 	// Per-packet emits: snapshot the designated reducers now.
-	var out []float64
 	emitted := false
 	for _, em := range pr.emits {
 		if !em.perPacket {
 			continue
 		}
 		emitted = true
-		out = append(out, r.snapshot(g, em)...)
+		dst = r.appendSnapshot(dst, g, em)
 	}
-	return out, emitted
+	return dst, emitted
 }
 
-// snapshot assembles one emit's feature values, applying any
-// synthesize post-processing.
-func (r *Runtime) snapshot(g *group, em emitSpec) []float64 {
-	var vals []float64
+// appendSnapshot appends one emit's feature values to dst, applying
+// any synthesize post-processing to the appended region only.
+func (r *Runtime) appendSnapshot(dst []float64, g *group, em emitSpec) []float64 {
+	start := len(dst)
 	for _, ri := range em.reducers {
-		vals = append(vals, g.reducers[ri].Features()...)
+		dst = append(dst, g.reducers[ri].Features()...)
 	}
-	for _, s := range em.synth {
-		vals = applySynth(s, vals)
+	if len(em.synth) > 0 {
+		vals := dst[start:]
+		for _, s := range em.synth {
+			vals = applySynth(s, vals)
+		}
+		dst = append(dst[:start], vals...)
 	}
-	return vals
+	return dst
 }
 
 // emitVector hands a vector to the sink.
@@ -494,7 +544,7 @@ func (r *Runtime) Flush() {
 				if em.perPacket {
 					continue
 				}
-				vals = append(vals, r.snapshot(pg, em)...)
+				vals = r.appendSnapshot(vals, pg, em)
 			}
 		}
 		if len(vals) > 0 {

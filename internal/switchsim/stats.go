@@ -24,6 +24,28 @@ type Stats struct {
 	AgingChecks uint64
 }
 
+// Add accumulates another switch's counters — merging per-shard
+// stats for the parallel engine. Conservation quantities (packets,
+// bytes, cells) sum exactly to the sequential totals on the same
+// trace; collision-dependent counters (evictions, FG overwrites,
+// groups admitted) depend on the cache partitioning.
+func (s *Stats) Add(o Stats) {
+	s.PktsIn += o.PktsIn
+	s.BytesIn += o.BytesIn
+	s.PktsFiltered += o.PktsFiltered
+	s.GroupsAdmitted += o.GroupsAdmitted
+	s.LongBufGrants += o.LongBufGrants
+	s.MsgsOut += o.MsgsOut
+	s.BytesOut += o.BytesOut
+	s.CellsOut += o.CellsOut
+	s.FGUpdates += o.FGUpdates
+	s.FGOverwrites += o.FGOverwrites
+	for i := range s.Evictions {
+		s.Evictions[i] += o.Evictions[i]
+	}
+	s.AgingChecks += o.AgingChecks
+}
+
 // AggregationRatio is the Figure 12 metric: bytes sent to the NIC
 // divided by raw bytes received. Lower is better; the paper reports
 // >80% reduction (ratio < 0.2).

@@ -46,6 +46,16 @@ type Config struct {
 	// entirely in the data plane "at a high frequency"; the default
 	// visits all 16384 entries in ~1.6ms.
 	AgingScanNS int64
+	// ZeroCopy reuses the switch's internal cell and message buffers
+	// across evictions, making the steady-state per-packet path
+	// allocation-free. Messages handed to the sink (and the cell
+	// Values they reference) are then only valid for the duration of
+	// the sink call: a sink that retains or forwards them
+	// asynchronously must deep-copy first. The core engines enable
+	// this — their deliver path consumes each message synchronously —
+	// while direct users of the simulator keep the default
+	// copy-on-evict behaviour.
+	ZeroCopy bool
 }
 
 // DefaultConfig returns the prototype parameters from §7.
@@ -110,6 +120,16 @@ type Switch struct {
 	enc  []byte // scratch encode buffer
 	stat Stats
 
+	// Hot-path scratch. cellScratch is the cell being built for the
+	// current packet (its Values array is reused every packet); the
+	// evict* and fgScratch fields back the borrowed messages emitted
+	// in ZeroCopy mode.
+	nvals       int
+	cellScratch gpv.Cell
+	evictCells  []gpv.Cell
+	evictMGPV   gpv.MGPV
+	fgScratch   gpv.FGUpdate
+
 	// Aging scan state (the recirculated internal packets).
 	agingCursor int
 	agingNext   int64
@@ -150,6 +170,8 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 	// the compiled program omits it — this also serves as the plain
 	// GPV emulation for Figure 13.
 	s.singleGran = plan.CG == plan.FG && len(plan.Chain) == 1
+	s.nvals = len(plan.MetadataFields)
+	s.cellScratch.Values = make([]uint32, s.nvals)
 	return s, nil
 }
 
@@ -166,6 +188,32 @@ func (s *Switch) Now() int64 { return s.now }
 // by the packet package), filter, group, batch. It returns whether
 // the packet was selected by the filter.
 func (s *Switch) Process(p *packet.Packet) bool {
+	if !s.ingress(p) {
+		return false
+	}
+	// Grouping key at the coarsest granularity.
+	cgKey, _ := flowkey.KeyFor(s.plan.CG, p.Tuple)
+	s.group(p, cgKey, flowkey.HashKey(cgKey))
+	return true
+}
+
+// ProcessKeyed is Process with the packet's CG key and key hash
+// precomputed by the caller. The parallel engine's router already
+// hashes every packet to pick a shard, so the shard's switch reuses
+// that work instead of recomputing it — the software analogue of the
+// paper's "reuse the hash value computed by the switch" optimization
+// (§6.2), applied one hop earlier.
+func (s *Switch) ProcessKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
+	if !s.ingress(p) {
+		return false
+	}
+	s.group(p, cgKey, hash)
+	return true
+}
+
+// ingress advances the clock and aging scan, charges the packet to
+// the counters and evaluates the policy filter.
+func (s *Switch) ingress(p *packet.Packet) bool {
 	if p.Timestamp > s.now {
 		s.now = p.Timestamp
 	}
@@ -178,10 +226,11 @@ func (s *Switch) Process(p *packet.Packet) bool {
 		s.stat.PktsFiltered++
 		return false
 	}
+	return true
+}
 
-	// Grouping key at the coarsest granularity.
-	cgKey, _ := flowkey.KeyFor(s.plan.CG, p.Tuple)
-	hash := flowkey.HashKey(cgKey)
+// group batches one selected packet into its CG group's buffers.
+func (s *Switch) group(p *packet.Packet, cgKey flowkey.Key, hash uint32) {
 	idx := int(hash % uint32(len(s.slots)))
 	sl := &s.slots[idx]
 
@@ -197,8 +246,11 @@ func (s *Switch) Process(p *packet.Packet) bool {
 	}
 	sl.lastAccess = s.now
 
-	// Build the cell: batched metadata fields + FG index + direction.
-	cell := gpv.Cell{Values: make([]uint32, len(s.plan.MetadataFields))}
+	// Build the cell in the per-switch scratch (its Values array is
+	// reused every packet): batched metadata fields + FG index +
+	// direction. appendCell copies it into the group's buffers.
+	cell := &s.cellScratch
+	cell.Values = cell.Values[:s.nvals]
 	for i, f := range s.plan.MetadataFields {
 		cell.Values[i] = uint32(p.Field(f))
 	}
@@ -208,15 +260,16 @@ func (s *Switch) Process(p *packet.Packet) bool {
 		cell.Forward = fwd
 	} else if s.plan.NeedsDirection {
 		_, fwd := flowkey.KeyFor(s.plan.FG, p.Tuple)
+		cell.FGIndex = 0
 		cell.Forward = fwd
 	} else {
 		// Non-directional single granularity: the group key IS the
 		// packet's tuple orientation.
+		cell.FGIndex = 0
 		cell.Forward = true
 	}
 
 	s.appendCell(sl, cell)
-	return true
 }
 
 // fgKeyFor derives the FG key and direction for a packet: the
@@ -246,18 +299,48 @@ func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
 		}
 		e.occupied = true
 		e.key = key
-		s.emit(gpv.Message{FG: &gpv.FGUpdate{Index: uint16(idx), Key: key}})
+		if s.cfg.ZeroCopy {
+			s.fgScratch = gpv.FGUpdate{Index: uint16(idx), Key: key}
+			s.emit(gpv.Message{FG: &s.fgScratch})
+		} else {
+			s.emit(gpv.Message{FG: &gpv.FGUpdate{Index: uint16(idx), Key: key}})
+		}
 		s.stat.FGUpdates++
 	}
 	return uint16(idx)
 }
 
+// pushCell appends a copy of c to *buf. In ZeroCopy mode the
+// destination cell's Values array is reused across evictions (the
+// sink has already consumed any message referencing it); otherwise a
+// fresh array is allocated per cell so evicted messages stay valid
+// after the slot's buffers restart.
+func (s *Switch) pushCell(buf *[]gpv.Cell, c *gpv.Cell) {
+	b := *buf
+	if n := len(b); s.cfg.ZeroCopy && n < cap(b) {
+		b = b[:n+1]
+		dst := &b[n]
+		if cap(dst.Values) >= len(c.Values) {
+			dst.Values = dst.Values[:len(c.Values)]
+		} else {
+			dst.Values = make([]uint32, len(c.Values))
+		}
+		copy(dst.Values, c.Values)
+		dst.FGIndex, dst.Forward = c.FGIndex, c.Forward
+		*buf = b
+		return
+	}
+	cp := *c
+	cp.Values = append([]uint32(nil), c.Values...)
+	*buf = append(b, cp)
+}
+
 // appendCell adds the cell to the group's buffers, handling the
 // short→long promotion and the buffer-full eviction (case 2 of
 // §5.2).
-func (s *Switch) appendCell(sl *slot, cell gpv.Cell) {
+func (s *Switch) appendCell(sl *slot, cell *gpv.Cell) {
 	if len(sl.short) < s.cfg.ShortBufCells {
-		sl.short = append(sl.short, cell)
+		s.pushCell(&sl.short, cell)
 		if len(sl.short) == s.cfg.ShortBufCells && sl.longIdx < 0 {
 			// Short buffer just filled for the first time: likely a
 			// long flow — try to pop a long buffer from the stack.
@@ -273,7 +356,7 @@ func (s *Switch) appendCell(sl *slot, cell gpv.Cell) {
 	if sl.longIdx >= 0 {
 		lb := s.longBufs[sl.longIdx]
 		if len(lb) < s.cfg.LongBufCells {
-			s.longBufs[sl.longIdx] = append(lb, cell)
+			s.pushCell(&s.longBufs[sl.longIdx], cell)
 			if len(lb)+1 == s.cfg.LongBufCells {
 				// Long buffer now full: evict short+long, keep the
 				// long buffer owned so the still-active long flow can
@@ -284,12 +367,12 @@ func (s *Switch) appendCell(sl *slot, cell gpv.Cell) {
 		}
 		// Defensive: should have been evicted at fill time.
 		s.evict(sl, gpv.EvictFull, false)
-		s.longBufs[sl.longIdx] = append(s.longBufs[sl.longIdx], cell)
+		s.pushCell(&s.longBufs[sl.longIdx], cell)
 		return
 	}
 	// No long buffer available: evict the short buffer and restart it.
 	s.evict(sl, gpv.EvictFull, false)
-	sl.short = append(sl.short, cell)
+	s.pushCell(&sl.short, cell)
 }
 
 // evict emits the group's batched cells as one MGPV message and
@@ -300,16 +383,32 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 	if !sl.occupied {
 		return
 	}
-	// Copy out of the buffers: the sink may retain the message while
-	// the slot's backing arrays are reused for the next batch.
-	cells := append([]gpv.Cell(nil), sl.short...)
-	if sl.longIdx >= 0 {
-		cells = append(cells, s.longBufs[sl.longIdx]...)
-		s.longBufs[sl.longIdx] = s.longBufs[sl.longIdx][:0]
+	// Assemble short+long into one contiguous cell list. In ZeroCopy
+	// mode the per-switch scratch backs a borrowed message; otherwise
+	// copy out of the buffers, since the sink may retain the message
+	// while the slot's backing arrays are reused for the next batch.
+	var cells []gpv.Cell
+	if s.cfg.ZeroCopy {
+		s.evictCells = append(s.evictCells[:0], sl.short...)
+		if sl.longIdx >= 0 {
+			s.evictCells = append(s.evictCells, s.longBufs[sl.longIdx]...)
+			s.longBufs[sl.longIdx] = s.longBufs[sl.longIdx][:0]
+		}
+		cells = s.evictCells
+	} else {
+		cells = append([]gpv.Cell(nil), sl.short...)
+		if sl.longIdx >= 0 {
+			cells = append(cells, s.longBufs[sl.longIdx]...)
+			s.longBufs[sl.longIdx] = s.longBufs[sl.longIdx][:0]
+		}
 	}
 	if len(cells) > 0 {
-		v := &gpv.MGPV{CG: sl.key, Hash: sl.hash, Cells: cells, Reason: reason}
-		s.emit(gpv.Message{MGPV: v})
+		if s.cfg.ZeroCopy {
+			s.evictMGPV = gpv.MGPV{CG: sl.key, Hash: sl.hash, Cells: cells, Reason: reason}
+			s.emit(gpv.Message{MGPV: &s.evictMGPV})
+		} else {
+			s.emit(gpv.Message{MGPV: &gpv.MGPV{CG: sl.key, Hash: sl.hash, Cells: cells, Reason: reason}})
+		}
 		s.stat.Evictions[reason]++
 		s.stat.CellsOut += uint64(len(cells))
 	}
