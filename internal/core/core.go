@@ -15,6 +15,8 @@
 // The Options struct exposes the switch cache sizing, NIC topology
 // and optimization toggles so the experiment harness can run the
 // paper's ablations against the same pipeline users run.
+//
+//superfe:deterministic
 package core
 
 import (
@@ -129,12 +131,16 @@ func (fe *SuperFE) Err() error { return fe.wireErr }
 
 // Process runs one packet through the deployed extractor. It returns
 // whether the packet passed the policy filter.
+//
+//superfe:hotpath
 func (fe *SuperFE) Process(p *packet.Packet) bool {
 	return fe.sw.Process(p)
 }
 
 // processKeyed is Process with the CG key and hash precomputed by the
 // parallel engine's router.
+//
+//superfe:hotpath
 func (fe *SuperFE) processKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
 	return fe.sw.ProcessKeyed(p, cgKey, hash)
 }

@@ -211,6 +211,8 @@ func shardIndex(h uint32, n int) int {
 // Process routes one packet to its shard, handing off a batch when
 // full. It returns whether the packet passes the policy filter (the
 // same decision the shard's switch will make).
+//
+//superfe:hotpath
 func (e *ParallelEngine) Process(p *packet.Packet) bool {
 	key, _ := flowkey.KeyFor(e.cg, p.Tuple)
 	h := flowkey.HashKey(key)

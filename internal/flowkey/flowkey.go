@@ -8,6 +8,8 @@
 // grouped at the coarsest granularity (CG) while each packet's feature
 // record points at its finest-granularity (FG) key, from which every
 // intermediate granularity can be recovered on the SmartNIC.
+//
+//superfe:deterministic
 package flowkey
 
 import (
@@ -242,29 +244,31 @@ func Project(g Granularity, fg FiveTuple) Key {
 // is an FNV-1a over the 13 key bytes — cheap enough for a Tofino
 // CRC unit and good enough for table indexing.
 func Hash32(t FiveTuple) uint32 {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	step := func(b byte) {
-		h ^= uint32(b)
-		h *= prime32
-	}
-	step(byte(t.SrcIP >> 24))
-	step(byte(t.SrcIP >> 16))
-	step(byte(t.SrcIP >> 8))
-	step(byte(t.SrcIP))
-	step(byte(t.DstIP >> 24))
-	step(byte(t.DstIP >> 16))
-	step(byte(t.DstIP >> 8))
-	step(byte(t.DstIP))
-	step(byte(t.SrcPort >> 8))
-	step(byte(t.SrcPort))
-	step(byte(t.DstPort >> 8))
-	step(byte(t.DstPort))
-	step(byte(t.Proto))
+	h := uint32(fnvOffset32)
+	h = fnvByte(h, byte(t.SrcIP>>24))
+	h = fnvByte(h, byte(t.SrcIP>>16))
+	h = fnvByte(h, byte(t.SrcIP>>8))
+	h = fnvByte(h, byte(t.SrcIP))
+	h = fnvByte(h, byte(t.DstIP>>24))
+	h = fnvByte(h, byte(t.DstIP>>16))
+	h = fnvByte(h, byte(t.DstIP>>8))
+	h = fnvByte(h, byte(t.DstIP))
+	h = fnvByte(h, byte(t.SrcPort>>8))
+	h = fnvByte(h, byte(t.SrcPort))
+	h = fnvByte(h, byte(t.DstPort>>8))
+	h = fnvByte(h, byte(t.DstPort))
+	h = fnvByte(h, byte(t.Proto))
 	return h
+}
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnvByte folds one byte into an FNV-1a running hash.
+func fnvByte(h uint32, b byte) uint32 {
+	return (h ^ uint32(b)) * fnvPrime32
 }
 
 // HashKey hashes a grouping key, mixing in the granularity so keys of

@@ -1,0 +1,73 @@
+package flowkey
+
+import "testing"
+
+// FuzzParseFiveTuple checks the parser against its printer: any
+// string ParseFiveTuple accepts must print to a canonical form that
+// parses back to the identical tuple.
+func FuzzParseFiveTuple(f *testing.F) {
+	f.Add("10.0.0.1:443->10.0.0.2:51234/tcp")
+	f.Add("0.0.0.0:0->255.255.255.255:65535/udp")
+	f.Add("1.2.3.4:1->5.6.7.8:2/icmp")
+	f.Add("1.2.3.4:1->5.6.7.8:2/proto(89)")
+	f.Add("1.2.3.4:1->5.6.7.8:2/47")
+	f.Add("not a tuple")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		tup, err := ParseFiveTuple(s)
+		if err != nil {
+			return // malformed input must be rejected, not parsed
+		}
+		canon := tup.String()
+		tup2, err := ParseFiveTuple(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", canon, err)
+		}
+		if tup2 != tup {
+			t.Fatalf("round trip changed the tuple: %q -> %+v -> %q -> %+v",
+				s, tup, canon, tup2)
+		}
+	})
+}
+
+// TestParseFiveTupleErrors pins down the rejection paths the fuzzer
+// exercises blindly.
+func TestParseFiveTupleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"10.0.0.1:443->10.0.0.2:51234",    // no proto
+		"10.0.0.1:443/tcp",                // no arrow
+		"10.0.0.1->10.0.0.2:51234/tcp",    // no source port
+		"10.0.0.1:99999->10.0.0.2:1/tcp",  // port overflow
+		"10.0.0.256:1->10.0.0.2:1/tcp",    // octet overflow
+		"10.0.1:1->10.0.0.2:1/tcp",        // three octets
+		"10.0.0.1:1->10.0.0.2:1/proto(4",  // unbalanced proto(
+		"10.0.0.1:1->10.0.0.2:1/proto(x)", // non-numeric proto
+		"10.0.0.1:1->10.0.0.2:1/flood",    // unknown proto name
+		"10.0.0.1:1->10.0.0.2:1/300",      // proto overflow
+	} {
+		if _, err := ParseFiveTuple(bad); err == nil {
+			t.Errorf("ParseFiveTuple(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestParseFiveTupleRoundTrip checks the printer/parser pair on
+// representative tuples directly.
+func TestParseFiveTupleRoundTrip(t *testing.T) {
+	for _, tup := range []FiveTuple{
+		{},
+		{SrcIP: 0x0a000001, DstIP: 0x0a000002, SrcPort: 443, DstPort: 51234, Proto: ProtoTCP},
+		{SrcIP: 0xffffffff, DstIP: 1, SrcPort: 65535, DstPort: 1, Proto: ProtoUDP},
+		{SrcIP: 0x7f000001, DstIP: 0x7f000001, Proto: ProtoICMP},
+		{SrcIP: 0x01020304, DstIP: 0x05060708, SrcPort: 1, DstPort: 2, Proto: 89},
+	} {
+		got, err := ParseFiveTuple(tup.String())
+		if err != nil {
+			t.Fatalf("ParseFiveTuple(%q): %v", tup.String(), err)
+		}
+		if got != tup {
+			t.Fatalf("round trip: %q parsed to %+v, want %+v", tup.String(), got, tup)
+		}
+	}
+}

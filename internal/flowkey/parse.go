@@ -1,0 +1,103 @@
+package flowkey
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseFiveTuple parses the "a.b.c.d:p->a.b.c.d:p/proto" notation
+// produced by FiveTuple.String. The protocol accepts the short names
+// tcp/udp/icmp, the numeric form proto(N), or a bare decimal number.
+// Parsing is user-input-reachable, so every malformed input returns
+// an error — it never panics.
+func ParseFiveTuple(s string) (FiveTuple, error) {
+	var t FiveTuple
+	ends, rest, ok := strings.Cut(s, "/")
+	if !ok {
+		return t, fmt.Errorf("flowkey: %q: missing /proto suffix", s)
+	}
+	src, dst, ok := strings.Cut(ends, "->")
+	if !ok {
+		return t, fmt.Errorf("flowkey: %q: missing -> separator", s)
+	}
+	var err error
+	if t.SrcIP, t.SrcPort, err = parseEndpoint(src); err != nil {
+		return t, fmt.Errorf("flowkey: %q: source: %w", s, err)
+	}
+	if t.DstIP, t.DstPort, err = parseEndpoint(dst); err != nil {
+		return t, fmt.Errorf("flowkey: %q: destination: %w", s, err)
+	}
+	if t.Proto, err = parseProto(rest); err != nil {
+		return t, fmt.Errorf("flowkey: %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// parseEndpoint parses "a.b.c.d:port".
+func parseEndpoint(s string) (uint32, uint16, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("endpoint %q: missing :port", s)
+	}
+	ip, err := parseIPv4(s[:i])
+	if err != nil {
+		return 0, 0, err
+	}
+	port, err := strconv.ParseUint(s[i+1:], 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("port %q: %v", s[i+1:], err)
+	}
+	return ip, uint16(port), nil
+}
+
+// parseIPv4 parses dotted-quad notation into the host-order uint32
+// the rest of the package uses.
+func parseIPv4(s string) (uint32, error) {
+	var ip uint32
+	rest := s
+	for i := 0; i < 4; i++ {
+		part := rest
+		if i < 3 {
+			j := strings.IndexByte(rest, '.')
+			if j < 0 {
+				return 0, fmt.Errorf("address %q: want 4 octets", s)
+			}
+			part, rest = rest[:j], rest[j+1:]
+		}
+		o, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address %q: octet %q: %v", s, part, err)
+		}
+		ip = ip<<8 | uint32(o)
+	}
+	return ip, nil
+}
+
+// parseProto inverts Proto.String.
+func parseProto(s string) (Proto, error) {
+	switch s {
+	case "tcp":
+		return ProtoTCP, nil
+	case "udp":
+		return ProtoUDP, nil
+	case "icmp":
+		return ProtoICMP, nil
+	}
+	if n, ok := strings.CutPrefix(s, "proto("); ok {
+		n, ok = strings.CutSuffix(n, ")")
+		if !ok {
+			return 0, fmt.Errorf("protocol %q: unbalanced proto(", s)
+		}
+		v, err := strconv.ParseUint(n, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("protocol %q: %v", s, err)
+		}
+		return Proto(v), nil
+	}
+	v, err := strconv.ParseUint(s, 10, 8)
+	if err != nil {
+		return 0, fmt.Errorf("protocol %q: %v", s, err)
+	}
+	return Proto(v), nil
+}

@@ -1,0 +1,74 @@
+package gpv
+
+import (
+	"bytes"
+	"testing"
+
+	"superfe/internal/flowkey"
+)
+
+// FuzzUnmarshalRoundTrip drives the wire codec with arbitrary bytes.
+// Any input Unmarshal accepts must satisfy the codec's contract:
+// the consumed count is in range, the decoded message re-marshals,
+// EncodedSize matches the marshalled length exactly (the §6 byte
+// accounting depends on it), and a second decode→encode cycle is
+// byte-stable.
+func FuzzUnmarshalRoundTrip(f *testing.F) {
+	tuple := flowkey.FiveTuple{
+		SrcIP: 0x0a000001, DstIP: 0x0a000002,
+		SrcPort: 443, DstPort: 51234, Proto: flowkey.ProtoTCP,
+	}
+	fg := Message{FG: &FGUpdate{Index: 7, Key: tuple}}
+	seed1, err := fg.Marshal(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mgpv := Message{MGPV: &MGPV{
+		CG:     flowkey.Key{Gran: flowkey.GranFlow, Tuple: tuple},
+		Hash:   0xdeadbeef,
+		Reason: EvictFull,
+		Cells: []Cell{
+			{FGIndex: 3, Forward: true, Values: []uint32{1, 2, 3}},
+			{FGIndex: 3, Forward: false, Values: []uint32{4, 5, 6}},
+		},
+	}}
+	seed2, err := mgpv.Marshal(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Unmarshal(data)
+		if err != nil {
+			return // malformed input must be rejected, not decoded
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		out, err := m.Marshal(nil)
+		if err != nil {
+			t.Fatalf("decoded message does not re-marshal: %v", err)
+		}
+		if got, want := m.EncodedSize(), len(out); got != want {
+			t.Fatalf("EncodedSize = %d, marshalled %d bytes", got, want)
+		}
+		m2, n2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if n2 != len(out) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(out))
+		}
+		out2, err := m2.Marshal(nil)
+		if err != nil {
+			t.Fatalf("second re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round trip is not stable:\n first %x\nsecond %x", out, out2)
+		}
+	})
+}

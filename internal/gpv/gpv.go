@@ -14,6 +14,8 @@
 // The codec exists because Figure 12 of the paper measures the
 // aggregation ratio — MGPV bytes emitted to the NIC divided by raw
 // traffic bytes received — so the byte-exact encoded size matters.
+//
+//superfe:deterministic
 package gpv
 
 import (

@@ -153,7 +153,7 @@ func streamingValue(f streaming.Func, ss sampleStream, lambda float64) float64 {
 	}
 	r, err := streaming.New(f, params)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	for _, s := range ss {
 		x := s.x

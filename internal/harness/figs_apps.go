@@ -47,7 +47,7 @@ func Fig9(s Scale) Table {
 		cfg := nicsim.TwoNICConfig()
 		pl, err := nicsim.Place(cfg, plan.NIC.StateSpecs)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		cm := nicsim.NewCostModel(cfg, plan.NIC, pl)
 		computeGbps := cm.CellsPerSecond(cfg.Cores()) / passRate * stats.AvgPacketSize * 8 / 1e9
@@ -67,7 +67,7 @@ func Fig9(s Scale) Table {
 		noopt.Opt = nicsim.Optimizations{}
 		plNo, err := nicsim.Place(noopt, plan.NIC.StateSpecs)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		cmNo := nicsim.NewCostModel(noopt, plan.NIC, plNo)
 		sw := baseline.ServerModel{
@@ -242,7 +242,7 @@ func kitsuneDetect(tr *trace.Trace) (mlsim.DetectionMetrics, int) {
 		samples = append(samples, scored{append([]float64(nil), v.Values...), v.Timestamp, lbl})
 	})
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	for i := range tr.Packets {
 		fe.Process(&tr.Packets[i])
@@ -257,7 +257,7 @@ func kitsuneDetect(tr *trace.Trace) (mlsim.DetectionMetrics, int) {
 	rng := newRand(Seed)
 	ens, err := mlsim.NewKitsuneEnsemble(pol.FeatureDim(), rng)
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	var scores []float64
 	var labels []uint8

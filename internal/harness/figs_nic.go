@@ -35,7 +35,7 @@ func Fig15(s Scale) Table {
 		var nVec int
 		fe, err := core.New(opts, pol, func(feature.Vector) { nVec++ })
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		start := time.Now()
 		for i := range tr.Packets {
@@ -48,7 +48,7 @@ func Fig15(s Scale) Table {
 		// Modelled NFP cycles.
 		pl, err := nicsim.Place(opts.NIC, fe.Plan().NIC.StateSpecs)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		cm := nicsim.NewCostModel(opts.NIC, fe.Plan().NIC, pl)
 		var cyc float64
@@ -82,7 +82,7 @@ func Fig16() Table {
 		plan := compileStudy(name)
 		pl, err := nicsim.Place(cfg, plan.NIC.StateSpecs)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		models[name] = nicsim.NewCostModel(cfg, plan.NIC, pl)
 	}
@@ -123,7 +123,7 @@ func Fig17() Table {
 		cfg.Opt = st.opt
 		pl, err := nicsim.Place(cfg, plan.NIC.StateSpecs)
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		cm := nicsim.NewCostModel(cfg, plan.NIC, pl)
 		cyc := cm.CyclesPerCell()

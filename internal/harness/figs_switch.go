@@ -14,7 +14,7 @@ import (
 func runSwitch(cfg switchsim.Config, plan policy.SwitchPlan, tr *trace.Trace) switchsim.Stats {
 	sw, err := switchsim.New(cfg, plan, func(gpv.Message) {})
 	if err != nil {
-		panic(err)
+		must(err)
 	}
 	for i := range tr.Packets {
 		sw.Process(&tr.Packets[i])
@@ -38,7 +38,7 @@ func Fig12(s Scale) Table {
 	for _, e := range studyApps() {
 		plan, err := policy.Compile(e.Build())
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		for _, tr := range traces {
 			st := runSwitch(switchsim.DefaultConfig(), plan.Switch, tr)
@@ -72,7 +72,7 @@ func Fig13(s Scale) Table {
 		}
 		plan, err := policy.Compile(e.Build())
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		// MGPV path.
 		mgpvMem := float64(switchsim.ConfiguredMemoryBytes(cfg, plan.Switch))
@@ -81,7 +81,7 @@ func Fig13(s Scale) Table {
 		// GPV path: one cache per granularity.
 		bank, err := switchsim.NewGPVBank(cfg, plan.Switch, func(gpv.Message) {})
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		for i := range tr.Packets {
 			bank.Process(&tr.Packets[i])
@@ -120,7 +120,7 @@ func Fig14(s Scale) Table {
 			cfg.AgingT = T
 			sw, err := switchsim.New(cfg, plan.Switch, func(gpv.Message) {})
 			if err != nil {
-				panic(err)
+				must(err)
 			}
 			// Sample buffer efficiency every 4096 packets.
 			var effSum float64
@@ -160,10 +160,10 @@ func compileStudy(name string) *policy.Plan {
 		if e.Name == name {
 			plan, err := policy.Compile(e.Build())
 			if err != nil {
-				panic(err)
+				must(err)
 			}
 			return plan
 		}
 	}
-	panic("harness: unknown study app " + name)
+	panic("superfe: harness: unknown study app " + name)
 }

@@ -156,3 +156,12 @@ func ByID(id string, s Scale) (Table, bool) {
 	}
 	return Table{}, false
 }
+
+// must panics on experiment-harness errors. The harness drives the
+// simulators with configurations it constructed itself, so any error
+// here is a broken invariant in this repository, not bad user input.
+func must(err error) {
+	if err != nil {
+		panic(fmt.Errorf("superfe: harness: %w", err))
+	}
+}

@@ -76,12 +76,12 @@ func Table4() Table {
 	for _, e := range studyApps() {
 		plan, err := policy.Compile(e.Build())
 		if err != nil {
-			panic(err)
+			must(err)
 		}
 		res := switchsim.EstimateResources(swCfg, plan.Switch)
 		pl, err := nicsim.Place(nicCfg, plan.NIC.StateSpecs)
 		if err != nil {
-			panic(fmt.Sprintf("table4 %s: %v", e.Name, err))
+			panic(fmt.Sprintf("superfe: harness: table4 %s: %v", e.Name, err))
 		}
 		mem := nicsim.EstimateMemory(nicCfg, plan.NIC.StateSpecs, pl, swCfg.NumShort)
 		t.AddRow(e.Name, fmtPct(res.Tables), fmtPct(res.SALUs), fmtPct(res.SRAM), fmtPct(mem.Overall))

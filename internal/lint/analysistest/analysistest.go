@@ -1,0 +1,162 @@
+// Package analysistest runs a lint analyzer over a testdata fixture
+// package and checks its diagnostics against // want comments — the
+// stdlib-only counterpart of golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectation syntax, on the line the diagnostic is reported at:
+//
+//	x := fmt.Sprintf("%d", n) // want `calls fmt\.Sprintf`
+//	y := a + b                // want "concatenates strings"
+//
+// Each quoted string is a regular expression that must match exactly
+// one diagnostic on that line; every diagnostic must be claimed by a
+// want. Fixture packages live under testdata/src/<name> and may
+// import only the standard library.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"superfe/internal/lint/analysis"
+	"superfe/internal/lint/loader"
+)
+
+// Run loads testdata/src/<pkg>, applies the analyzer, and fails the
+// test on any mismatch between reported diagnostics and // want
+// expectations. It returns the diagnostics for extra assertions.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) []analysis.Diagnostic {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	prog, err := loader.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", dir, err)
+	}
+	target := prog.Packages[0]
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      prog.Fset,
+		Files:     target.Files,
+		Pkg:       target.Types,
+		TypesInfo: target.Info,
+		Prog:      prog,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+	check(t, prog.Fset, target.Files, a.Name, diags)
+	return diags
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+// check matches diagnostics against the fixture's want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, name string, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWant(t, pos, c.Text) {
+					wants[wantKey{pos.Filename, pos.Line}] = append(wants[wantKey{pos.Filename, pos.Line}], pat)
+				}
+			}
+		}
+	}
+	got := map[wantKey][]string{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		got[wantKey{pos.Filename, pos.Line}] = append(got[wantKey{pos.Filename, pos.Line}], d.Message)
+	}
+
+	keys := map[wantKey]bool{}
+	for k := range wants {
+		keys[k] = true
+	}
+	for k := range got {
+		keys[k] = true
+	}
+	sorted := make([]wantKey, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].file != sorted[j].file {
+			return sorted[i].file < sorted[j].file
+		}
+		return sorted[i].line < sorted[j].line
+	})
+
+	for _, k := range sorted {
+		msgs := append([]string(nil), got[k]...)
+		for _, pat := range wants[k] {
+			matched := -1
+			for i, m := range msgs {
+				if pat.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: no %s diagnostic matching %q (got %v)", k.file, k.line, name, pat, msgs)
+				continue
+			}
+			msgs = append(msgs[:matched], msgs[matched+1:]...)
+		}
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", k.file, k.line, name, m)
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want "..."` comment.
+func parseWant(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", pos, text)
+			}
+			var err error
+			raw, err = strconv.Unquote(rest[:end+2])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", pos, rest[:end+2], err)
+			}
+			rest = strings.TrimSpace(rest[end+2:])
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, text)
+			}
+			raw = rest[1 : end+1]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Fatalf("%s: want expects quoted regexps, got %q", pos, rest)
+		}
+		pat, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		pats = append(pats, pat)
+	}
+	return pats
+}

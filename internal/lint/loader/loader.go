@@ -1,0 +1,324 @@
+// Package loader parses and type-checks the packages of this module
+// for the superfe-vet analyzers, using only the standard library:
+// go/parser for syntax, go/types for checking, and the go/importer
+// "source" importer for standard-library dependencies (no export
+// data or network access needed). It understands just enough of the
+// go command's pattern language — "./...", "./internal/...", plain
+// directories — to drive `superfe-vet ./...` from CI.
+//
+// Test files (*_test.go) are not loaded: the invariants superfe-vet
+// enforces are production-code invariants, and external test
+// packages would complicate the single-pass type-check for no
+// enforcement value.
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"superfe/internal/lint/analysis"
+)
+
+// Load resolves the patterns relative to dir (or the working
+// directory when dir is empty), locates the enclosing module, and
+// returns the matched packages fully type-checked. Module-local
+// imports of matched packages are loaded transitively and included
+// in the returned Program (analyzers traverse cross-package calls),
+// but only pattern-matched packages appear first, in sorted order.
+func Load(dir string, patterns ...string) (*analysis.Program, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := newState(root, modpath)
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var paths []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		dirs, err := st.expand(dir, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range dirs {
+			ip, err := st.importPathFor(d)
+			if err != nil {
+				return nil, err
+			}
+			if !seen[ip] {
+				seen[ip] = true
+				paths = append(paths, ip)
+			}
+		}
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if _, err := st.load(ip); err != nil {
+			return nil, err
+		}
+	}
+	return st.program(paths), nil
+}
+
+// LoadDir type-checks a single directory as a stand-alone package
+// under the given import path, with standard-library imports only —
+// the entry point for analysistest fixtures, which live outside the
+// module's package tree.
+func LoadDir(dir, importPath string) (*analysis.Program, error) {
+	st := newState(dir, importPath)
+	st.dirOverride = map[string]string{importPath: dir}
+	if _, err := st.load(importPath); err != nil {
+		return nil, err
+	}
+	return st.program([]string{importPath}), nil
+}
+
+type state struct {
+	fset    *token.FileSet
+	root    string
+	modpath string
+	std     types.Importer
+	pkgs    map[string]*analysis.Package
+	loading map[string]bool
+	order   []string
+	// dirOverride maps import paths to directories outside the module
+	// layout (testdata fixtures).
+	dirOverride map[string]string
+}
+
+func newState(root, modpath string) *state {
+	fset := token.NewFileSet()
+	return &state{
+		fset:    fset,
+		root:    root,
+		modpath: modpath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*analysis.Package{},
+		loading: map[string]bool{},
+	}
+}
+
+func (s *state) program(mainPaths []string) *analysis.Program {
+	prog := &analysis.Program{Fset: s.fset, ModulePath: s.modpath, Targets: mainPaths}
+	seen := map[string]bool{}
+	for _, ip := range mainPaths {
+		if p := s.pkgs[ip]; p != nil && !seen[ip] {
+			seen[ip] = true
+			prog.Packages = append(prog.Packages, p)
+		}
+	}
+	// Transitive module-local dependencies follow, in load order.
+	for _, ip := range s.order {
+		if p := s.pkgs[ip]; p != nil && !seen[ip] {
+			seen[ip] = true
+			prog.Packages = append(prog.Packages, p)
+		}
+	}
+	return prog
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns
+// the module root and path.
+func findModule(dir string) (root, modpath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("loader: %s has no module line", gm)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("loader: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// expand resolves one pattern to a list of package directories.
+func (s *state) expand(base, pat string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+		if pat == "." || pat == "" {
+			pat = "."
+		}
+	}
+	d := pat
+	if !filepath.IsAbs(d) {
+		d = filepath.Join(base, d)
+	}
+	if !recursive {
+		if !hasGoFiles(d) {
+			return nil, fmt.Errorf("loader: no Go files in %s", d)
+		}
+		return []string{d}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(d, func(path string, de os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !de.IsDir() {
+			return nil
+		}
+		name := de.Name()
+		if path != d && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if isSourceFile(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSourceFile(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+}
+
+func (s *state) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(s.root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return s.modpath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("loader: %s is outside module %s", dir, s.modpath)
+	}
+	return s.modpath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (s *state) dirFor(importPath string) string {
+	if d, ok := s.dirOverride[importPath]; ok {
+		return d
+	}
+	if importPath == s.modpath {
+		return s.root
+	}
+	return filepath.Join(s.root, filepath.FromSlash(strings.TrimPrefix(importPath, s.modpath+"/")))
+}
+
+// Import implements types.Importer, routing module-local paths
+// through the recursive loader and everything else to the
+// standard-library source importer.
+func (s *state) Import(path string) (*types.Package, error) {
+	if path == s.modpath || strings.HasPrefix(path, s.modpath+"/") {
+		p, err := s.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return s.std.Import(path)
+}
+
+// load parses and type-checks one module-local package (memoized).
+func (s *state) load(importPath string) (*analysis.Package, error) {
+	if p, ok := s.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if s.loading[importPath] {
+		return nil, fmt.Errorf("loader: import cycle through %s", importPath)
+	}
+	s.loading[importPath] = true
+	defer delete(s.loading, importPath)
+
+	dir := s.dirFor(importPath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range ents {
+		if isSourceFile(e) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(s.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.InfoTemplate()
+	var typeErrs []string
+	conf := types.Config{
+		Importer: s,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err.Error())
+		},
+	}
+	tpkg, err := conf.Check(importPath, s.fset, files, info)
+	if len(typeErrs) > 0 {
+		const max = 10
+		if len(typeErrs) > max {
+			typeErrs = append(typeErrs[:max], fmt.Sprintf("... and %d more", len(typeErrs)-max))
+		}
+		return nil, fmt.Errorf("loader: type errors in %s:\n\t%s", importPath, strings.Join(typeErrs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("loader: %s: %w", importPath, err)
+	}
+	p := &analysis.Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	s.pkgs[importPath] = p
+	s.order = append(s.order, importPath)
+	return p, nil
+}

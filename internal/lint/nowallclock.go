@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"superfe/internal/lint/analysis"
+)
+
+// NoWallClock enforces bit-stable determinism in packages annotated
+// //superfe:deterministic (the simulators and codecs whose outputs
+// the paper's figures are regenerated from). In such packages:
+//
+//   - wall-clock and timer reads (time.Now, time.Since, time.Until,
+//     time.Sleep, time.After, tickers) are forbidden — simulated time
+//     comes from packet timestamps;
+//   - the global math/rand generators (rand.Intn, rand.Float64, ...)
+//     are forbidden — randomness must flow through an explicitly
+//     seeded *rand.Rand so runs reproduce; constructors (rand.New,
+//     rand.NewSource, rand.NewZipf) are fine;
+//   - ranging over a map is forbidden unless the statement carries a
+//     //superfe:unordered directive asserting the loop is
+//     order-insensitive (a commutative reduction, or the results are
+//     sorted before use).
+var NoWallClock = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid wall clocks, global math/rand and unordered map iteration in //superfe:deterministic packages",
+	Run:  runNoWallClock,
+}
+
+// wallClockFuncs are the package time functions that read or depend
+// on the machine clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededRandFuncs are the math/rand package-level constructors that
+// do NOT touch the global generator and are therefore allowed.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 spellings, should the module migrate.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoWallClock(pass *analysis.Pass) error {
+	if !packageDirective(pass.Files, "deterministic") {
+		return nil
+	}
+	dirs := newDirectives(pass.Fset, pass.Files)
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := info.Types[n.X].Type
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok && !dirs.at(n.Pos(), "unordered") {
+					pass.Reportf(n.Pos(), "deterministic package ranges over a map (iteration order is random); sort the keys or mark //superfe:unordered with a reason")
+				}
+			case *ast.SelectorExpr:
+				fn, ok := info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Package-level functions only: methods on a seeded
+				// *rand.Rand or a time.Time value are fine.
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(), "deterministic package calls time.%s (wall clock); derive time from packet timestamps", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandFuncs[fn.Name()] {
+						pass.Reportf(n.Pos(), "deterministic package calls the global rand.%s; use an explicitly seeded *rand.Rand", fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"superfe/internal/lint/analysis"
+)
+
+// PanicDiscipline enforces the library panic policy: in non-main
+// packages, a panic reachable from an exported function must carry a
+// message with the "superfe:" invariant prefix, marking it as an
+// internal-invariant failure rather than an input-validation path.
+// Anything user input can trigger (trace parsing, wire decoding, CLI
+// config) must return an error instead — the prefix rule makes the
+// remaining panics searchable and auditable.
+//
+// Reachability is computed over the package-local static call graph
+// from exported functions and methods; panics in functions only
+// reachable through unexported entry points that no exported code
+// calls are not flagged (they cannot fire in library use).
+var PanicDiscipline = &analysis.Analyzer{
+	Name: "panicdiscipline",
+	Doc:  "require superfe: prefixes on panics reachable from exported functions in library packages",
+	Run:  runPanicDiscipline,
+}
+
+// panicPrefix is the required invariant marker.
+const panicPrefix = "superfe:"
+
+func runPanicDiscipline(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	info := pass.TypesInfo
+
+	// Package-local static call graph over declared functions.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	callees := func(fd *ast.FuncDecl) []*types.Func {
+		var out []*types.Func
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if fn, ok := info.Uses[fun].(*types.Func); ok {
+					out = append(out, fn)
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[fun]; ok {
+					if fn, ok := sel.Obj().(*types.Func); ok {
+						out = append(out, fn)
+					}
+				} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+					out = append(out, fn)
+				}
+			}
+			return true
+		})
+		return out
+	}
+
+	// BFS from exported functions and exported methods (on any type).
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for fn := range decls {
+		if fn.Exported() {
+			reachable[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		for _, callee := range callees(fd) {
+			if _, local := decls[callee]; local && !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn, fd := range decls {
+		if !reachable[fn] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin || id.Name != "panic" {
+				return true
+			}
+			if len(call.Args) == 1 && panicMessageOK(info, call.Args[0]) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "panic in %s is reachable from the exported API and must carry a %q invariant prefix (or return an error if user input can trigger it)", fn.Name(), panicPrefix)
+			return true
+		})
+	}
+	return nil
+}
+
+// panicMessageOK reports whether the panic argument demonstrably
+// starts with the superfe: prefix: a string constant, a
+// concatenation whose leftmost operand qualifies, or a
+// fmt.Sprintf/Errorf whose format string qualifies.
+func panicMessageOK(info *types.Info, arg ast.Expr) bool {
+	arg = ast.Unparen(arg)
+	if tv, ok := info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return strings.HasPrefix(constant.StringVal(tv.Value), panicPrefix)
+	}
+	switch e := arg.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			return panicMessageOK(info, e.X)
+		}
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "fmt" && (fn.Name() == "Sprintf" || fn.Name() == "Errorf" || fn.Name() == "Sprint") {
+				if len(e.Args) > 0 {
+					return panicMessageOK(info, e.Args[0])
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"superfe/internal/lint/analysis"
+)
+
+// StatsMerge catches the "added a counter, forgot to merge it" bug
+// class the parallel engine's per-shard stats merging is exposed to:
+// for any struct whose name ends in "Stats", every Merge, Add and
+// Reset method must reference every field of the struct. A method
+// that assigns the whole receiver (*s = Stats{} or *s = o) trivially
+// references all fields.
+//
+// The check is purely mechanical — it does not verify the merge
+// arithmetic — but it guarantees a new counter cannot be added
+// without the merge and reset paths being revisited.
+var StatsMerge = &analysis.Analyzer{
+	Name: "statsmerge",
+	Doc:  "require Merge/Add/Reset methods on *Stats structs to reference every field",
+	Run:  runStatsMerge,
+}
+
+// mergeLikeMethods are the method names that must cover every field.
+var mergeLikeMethods = map[string]bool{"Merge": true, "Add": true, "Reset": true}
+
+func runStatsMerge(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !mergeLikeMethods[fd.Name.Name] {
+				continue
+			}
+			named, st := recvStatsStruct(info, fd)
+			if named == nil {
+				continue
+			}
+			missing := missingFields(info, fd, st)
+			if len(missing) == 0 {
+				continue
+			}
+			pass.Reportf(fd.Pos(), "%s.%s does not reference field%s %s — every %s counter must be merged and reset",
+				named.Obj().Name(), fd.Name.Name, plural(missing), strings.Join(missing, ", "), named.Obj().Name())
+		}
+	}
+	return nil
+}
+
+// recvStatsStruct resolves the method receiver when it is a named
+// struct type whose name ends in "Stats".
+func recvStatsStruct(info *types.Info, fd *ast.FuncDecl) (*types.Named, *types.Struct) {
+	if len(fd.Recv.List) != 1 {
+		return nil, nil
+	}
+	t := info.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return nil, nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok || st.NumFields() == 0 {
+		return nil, nil
+	}
+	return named, st
+}
+
+// missingFields returns the names of struct fields the method body
+// never references, sorted.
+func missingFields(info *types.Info, fd *ast.FuncDecl, st *types.Struct) []string {
+	want := map[types.Object]string{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "_" {
+			continue
+		}
+		want[f] = f.Name()
+	}
+	wholeStruct := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				delete(want, sel.Obj())
+			}
+		case *ast.AssignStmt:
+			// *s = Stats{...} / *s = o: the whole value is replaced.
+			for _, lhs := range n.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok {
+					if t := info.Types[star.X].Type; t != nil {
+						if p, ok := t.Underlying().(*types.Pointer); ok {
+							if p.Elem().Underlying() == st {
+								wholeStruct = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	if wholeStruct {
+		return nil
+	}
+	out := make([]string, 0, len(want))
+	for _, name := range want {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func plural(s []string) string {
+	if len(s) > 1 {
+		return "s"
+	}
+	return ""
+}

@@ -1,0 +1,82 @@
+// Package hotpath is the analysistest fixture for the hotpathalloc
+// analyzer: seeded allocation-construct violations inside an
+// annotated hot path, plus the patterns the engine legitimately uses
+// (preallocated appends, coldpath exemptions, suppressions).
+package hotpath
+
+import "fmt"
+
+// Pkt stands in for the per-packet state.
+type Pkt struct {
+	Name string
+	Buf  []byte
+	vals []int
+}
+
+// Sink models an interface-typed consumer.
+type Sink interface {
+	Write(v any)
+}
+
+// Process is the annotated hot-path root.
+//
+//superfe:hotpath
+func Process(p *Pkt, s Sink) {
+	_ = fmt.Sprintf("%d", len(p.Buf)) // want `calls fmt\.Sprintf`
+	msg := p.Name + "!"               // want `concatenates strings`
+	_ = msg
+	b := []byte(p.Name) // want `converts string to a byte/rune slice`
+	_ = string(p.Buf)   // want `converts \[\]byte/\[\]rune to string`
+	_ = b
+	m := map[int]int{1: 1} // want `builds a map literal`
+	_ = m
+	mm := make(map[int]int) // want `makes a map`
+	_ = mm
+	q := new(int) // want `calls new`
+	_ = q
+	f := func() int { return len(p.Buf) } // want `creates a closure`
+	_ = f
+	var local []int
+	local = append(local, 1) // want `appends to local, a local declared without capacity`
+	_ = local
+	ok := make([]int, 0, 8)
+	ok = append(ok, 2) // preallocated: fine
+	_ = ok
+	p.vals = append(p.vals, 3) // append to a field: fine
+	s.Write(42)                // want `boxes a int into an interface parameter`
+	s.Write(p)                 // pointer into interface: no allocation, fine
+	helper(p)
+	cold(p)
+	suppressed()
+}
+
+// helper is reached transitively from Process and scanned too.
+func helper(p *Pkt) {
+	_ = fmt.Sprint(p.Name) // want `calls fmt\.Sprint`
+}
+
+// cold is a declared amortized/slow path: traversal stops here.
+//
+//superfe:coldpath
+func cold(p *Pkt) {
+	_ = fmt.Sprintln(p.Name) // allowed: coldpath
+}
+
+// suppressed shows a justified, documented exception.
+func suppressed() {
+	//superfe:alloc-ok fixture: error path, never taken per packet
+	_ = fmt.Sprint("x")
+}
+
+// notOnHotPath is never reached from a hotpath root.
+func notOnHotPath(p *Pkt) {
+	_ = fmt.Sprint("fine here") // allowed: not annotated, not reachable
+}
+
+// AppendParam appends to a parameter: presizing is the caller's
+// responsibility, so this is fine even on the hot path.
+//
+//superfe:hotpath
+func AppendParam(dst []int, x int) []int {
+	return append(dst, x)
+}

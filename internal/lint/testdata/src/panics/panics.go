@@ -1,0 +1,37 @@
+// Package panics is the analysistest fixture for the
+// panicdiscipline analyzer: unprefixed panics reachable from the
+// exported API, prefixed invariant panics, and unreachable helpers.
+package panics
+
+import "fmt"
+
+const prefix = "superfe: panics:"
+
+// Do is the exported entry point; everything it calls is reachable.
+func Do(x int) {
+	if x < 0 {
+		panic("negative") // want `must carry a "superfe:" invariant prefix`
+	}
+	inner(x)
+}
+
+func inner(x int) {
+	switch x {
+	case 42:
+		panic(fmt.Sprintf("odd value %d", x)) // want `must carry a "superfe:" invariant prefix`
+	case 43:
+		panic("superfe: panics: invariant broken") // allowed: prefixed literal
+	case 44:
+		panic(fmt.Sprintf("superfe: panics: state %d", x)) // allowed: prefixed Sprintf
+	case 45:
+		panic(prefix + " detail") // allowed: prefixed constant concatenation
+	case 46:
+		panic(fmt.Errorf("no prefix %d", x)) // want `must carry a "superfe:" invariant prefix`
+	}
+}
+
+// orphan is not reachable from any exported function, so its panic
+// is not policed (it cannot fire in library use).
+func orphan() {
+	panic("free-form")
+}

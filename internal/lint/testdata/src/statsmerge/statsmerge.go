@@ -1,0 +1,47 @@
+// Package statsmerge is the analysistest fixture for the statsmerge
+// analyzer: *Stats structs whose Merge/Add/Reset methods forget
+// fields.
+package statsmerge
+
+// GoodStats merges and resets every field.
+type GoodStats struct {
+	A uint64
+	B uint64
+	C [2]uint64
+}
+
+// Add covers every field.
+func (s *GoodStats) Add(o GoodStats) {
+	s.A += o.A
+	s.B += o.B
+	for i := range s.C {
+		s.C[i] += o.C[i]
+	}
+}
+
+// Reset replaces the whole value: trivially covers every field.
+func (s *GoodStats) Reset() { *s = GoodStats{} }
+
+// BadStats forgets counters in both methods.
+type BadStats struct {
+	Hits   uint64
+	Misses uint64
+	Evicts uint64
+}
+
+func (s *BadStats) Merge(o BadStats) { // want `BadStats\.Merge does not reference fields Evicts, Misses`
+	s.Hits += o.Hits
+}
+
+func (s *BadStats) Reset() { // want `BadStats\.Reset does not reference field Evicts`
+	s.Hits, s.Misses = 0, 0
+}
+
+// Tracker is not a *Stats struct; its partial Merge is ignored.
+type Tracker struct {
+	X int
+	Y int
+}
+
+// Merge intentionally partial: the analyzer only polices *Stats.
+func (n *Tracker) Merge(o Tracker) { n.X += o.X }

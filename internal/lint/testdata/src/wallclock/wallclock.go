@@ -1,0 +1,44 @@
+// Package wallclock is the analysistest fixture for the nowallclock
+// analyzer: wall-clock reads, global math/rand draws and unmarked
+// map iteration inside a package annotated deterministic.
+//
+//superfe:deterministic
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad exercises every forbidden construct.
+func Bad() int64 {
+	t := time.Now().UnixNano() // want `calls time\.Now`
+	n := rand.Intn(10)         // want `calls the global rand\.Intn`
+	f := rand.Float64()        // want `calls the global rand\.Float64`
+	m := map[int]int{1: 1}
+	s := 0
+	for k, v := range m { // want `ranges over a map`
+		s += k + v
+	}
+	return t + int64(n) + int64(f) + int64(s)
+}
+
+// Good shows the allowed spellings: seeded generators, rand.Rand
+// methods, duration constants, and an order-insensitive map loop
+// marked as such.
+func Good() int64 {
+	r := rand.New(rand.NewSource(7)) // seeded constructor: fine
+	d := time.Duration(5) * time.Millisecond
+	m := map[int]int{1: 1, 2: 2}
+	s := 0
+	//superfe:unordered summing is commutative
+	for _, v := range m {
+		s += v
+	}
+	return int64(r.Intn(10)) + int64(d) + int64(s)
+}
+
+// Sleepy reads the clock indirectly through a timer.
+func Sleepy() {
+	time.Sleep(time.Millisecond) // want `calls time\.Sleep`
+}

@@ -10,6 +10,8 @@
 // that detectors consuming SuperFE's feature vectors reach the same
 // accuracy as detectors consuming exactly-computed features — without
 // a deep-learning framework.
+//
+//superfe:deterministic
 package mlsim
 
 import (
@@ -33,8 +35,13 @@ type Autoencoder struct {
 }
 
 // NewAutoencoder builds an in→hidden→in autoencoder. hidden is
-// typically ~0.75·in (Kitsune's ratio).
+// typically ~0.75·in (Kitsune's ratio). A nil rng falls back to a
+// fixed-seed generator so weight initialisation — and therefore every
+// downstream anomaly score — is reproducible by default.
 func NewAutoencoder(in, hidden int, lr float64, rng *rand.Rand) *Autoencoder {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(defaultWeightSeed))
+	}
 	a := &Autoencoder{in: in, hidden: hidden, lr: lr}
 	limit := math.Sqrt(6.0 / float64(in+hidden))
 	a.w1 = make([][]float64, hidden)
@@ -185,13 +192,22 @@ type KitsuneEnsemble struct {
 // size.
 const KitsuneMaxGroup = 10
 
+// defaultWeightSeed seeds weight initialisation when the caller
+// passes a nil *rand.Rand. Any fixed value works; what matters is
+// that two runs with the same inputs produce the same model.
+const defaultWeightSeed = 1
+
 // NewKitsuneEnsemble partitions dim features into contiguous groups
 // of at most KitsuneMaxGroup (the original clusters by correlation;
 // contiguous grouping keeps each granularity×λ block together, which
-// is the same intent) and builds the two tiers.
+// is the same intent) and builds the two tiers. A nil rng falls back
+// to a fixed-seed generator (see NewAutoencoder).
 func NewKitsuneEnsemble(dim int, rng *rand.Rand) (*KitsuneEnsemble, error) {
 	if dim <= 0 {
 		return nil, errors.New("mlsim: ensemble needs a positive feature dimension")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(defaultWeightSeed))
 	}
 	k := &KitsuneEnsemble{}
 	for start := 0; start < dim; start += KitsuneMaxGroup {

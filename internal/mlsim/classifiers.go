@@ -46,6 +46,7 @@ func (c *KNN) Predict(x []float64) int {
 		votes[n.y]++
 	}
 	best, bestN := -1, -1
+	//superfe:unordered argmax with label tie-break is order-independent
 	for y, n := range votes {
 		if n > bestN || (n == bestN && y < best) {
 			best, bestN = y, n
@@ -96,6 +97,7 @@ func (c *Centroid) Fit(x [][]float64, y []int) error {
 		}
 		counts[y[i]]++
 	}
+	//superfe:unordered per-class division is independent per entry
 	for y, acc := range c.centroids {
 		for j := range acc {
 			acc[j] /= float64(counts[y])
@@ -110,6 +112,7 @@ func (c *Centroid) Predict(x []float64) int {
 	best, bestD := -1, math.Inf(1)
 	// Deterministic iteration: collect and sort class ids.
 	ids := make([]int, 0, len(c.centroids))
+	//superfe:unordered collects ids that are sorted before use
 	for y := range c.centroids {
 		ids = append(ids, y)
 	}
@@ -179,6 +182,7 @@ func majority(y []int, idx []int) int {
 		votes[y[i]]++
 	}
 	best, bestN := 0, -1
+	//superfe:unordered argmax with label tie-break is order-independent
 	for lbl, n := range votes {
 		if n > bestN || (n == bestN && lbl < best) {
 			best, bestN = lbl, n
@@ -196,6 +200,7 @@ func gini(y []int, idx []int) float64 {
 		votes[y[i]]++
 	}
 	g := 1.0
+	//superfe:unordered gini sum over counts is commutative
 	for _, n := range votes {
 		p := float64(n) / float64(len(idx))
 		g -= p * p

@@ -22,6 +22,8 @@
 //
 // This package substitutes for the ~3K lines of Micro-C of the
 // paper's prototype (§7); see DESIGN.md §1.
+//
+//superfe:deterministic
 package nicsim
 
 import (

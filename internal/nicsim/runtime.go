@@ -261,6 +261,8 @@ func compileProgram(plan *policy.Plan, g flowkey.Granularity, fieldPos map[packe
 
 // newGroup allocates a group's state for a program, carving the
 // group, reducer and scratch storage out of slab blocks.
+//
+//superfe:coldpath
 func (r *Runtime) newGroup(pr *program, key flowkey.Key) *group {
 	if len(r.slabGroups) == 0 {
 		r.slabGroups = make([]group, groupSlab)
@@ -289,7 +291,7 @@ func (r *Runtime) newGroup(pr *program, key flowkey.Key) *group {
 			red, err := streaming.New(rf.Func, rf.Params)
 			if err != nil {
 				// Validated at Build/Compile; unreachable.
-				panic(fmt.Sprintf("nicsim: reducer %s: %v", rf.Func, err))
+				panic(fmt.Sprintf("superfe: nicsim: reducer %s: %v", rf.Func, err))
 			}
 			g.reducers[i] = red
 		}
@@ -313,6 +315,7 @@ func (r *Runtime) Stats() RuntimeStats {
 // memory-consumption metric.
 func (r *Runtime) StateBytes() int {
 	total := 0
+	//superfe:unordered summing state sizes is commutative
 	for _, g := range r.groups {
 		for _, red := range g.reducers {
 			total += red.StateBytes()
@@ -323,6 +326,8 @@ func (r *Runtime) StateBytes() int {
 }
 
 // Process consumes one switch→NIC message.
+//
+//superfe:hotpath
 func (r *Runtime) Process(m gpv.Message) {
 	r.stats.Msgs++
 	switch {
@@ -398,12 +403,6 @@ func (r *Runtime) cellTimestamp(cell *gpv.Cell) int64 {
 // extended dst and whether the program has per-packet emits.
 func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst []float64) ([]float64, bool) {
 	env := pr.env // reused across cells; every slot is written before it is read
-	load := func(ref valueRef) int64 {
-		if ref.fromEnv {
-			return env[ref.idx]
-		}
-		return int64(cell.Values[ref.idx])
-	}
 	ts := uint32(0)
 	for i, f := range r.plan.Switch.MetadataFields {
 		if f == packet.FieldTimestamp {
@@ -419,15 +418,15 @@ func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst [
 			case policy.MapOne:
 				out = 1
 			case policy.MapIdentity:
-				out = load(ins.src)
+				out = loadRef(env, cell, ins.src)
 			case policy.MapDirection:
-				out = load(ins.src)
+				out = loadRef(env, cell, ins.src)
 				if !fwd {
 					out = -out
 				}
 			case policy.MapIPT:
 				sc := &g.scratch[ins.scratchIdx]
-				cur := load(ins.src)
+				cur := loadRef(env, cell, ins.src)
 				if sc.set {
 					// 32-bit wrapping difference, matching the
 					// switch's 32-bit timestamp metadata.
@@ -436,7 +435,7 @@ func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst [
 				sc.v, sc.set = cur, true
 			case policy.MapSpeed:
 				sc := &g.scratch[ins.scratchIdx]
-				size := load(ins.src)
+				size := loadRef(env, cell, ins.src)
 				var dt int64
 				if sc.set {
 					dt = int64(ts - uint32(sc.v))
@@ -448,7 +447,7 @@ func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst [
 			case policy.MapBurst:
 				last := &g.scratch[ins.scratchIdx]
 				count := &g.scratch[ins.scratchIdx+1]
-				cur := load(ins.src)
+				cur := loadRef(env, cell, ins.src)
 				gap := int64(0)
 				if last.set {
 					gap = int64(uint32(cur) - uint32(last.v))
@@ -461,7 +460,7 @@ func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst [
 			}
 			env[ins.dstSlot] = out
 		case policy.OpReduce:
-			x := load(ins.src)
+			x := loadRef(env, cell, ins.src)
 			for _, ri := range ins.reducerIdx {
 				if tr, ok := g.reducers[ri].(streaming.TimedReducer); ok {
 					tr.ObserveAt(x, int64(ts))
@@ -520,6 +519,7 @@ func (r *Runtime) Flush() {
 	fg := r.plan.Switch.FG
 	// Deterministic order for reproducible outputs.
 	keys := make([]flowkey.Key, 0, len(r.groups))
+	//superfe:unordered collects keys that are sorted before use
 	for k := range r.groups {
 		if k.Gran == fg {
 			keys = append(keys, k)
@@ -569,4 +569,13 @@ func keyLess(a, b flowkey.Key) bool {
 		return ta.DstPort < tb.DstPort
 	}
 	return ta.Proto < tb.Proto
+}
+
+// loadRef reads one instruction operand: a previously computed env
+// slot or a raw cell value.
+func loadRef(env []int64, cell *gpv.Cell, ref valueRef) int64 {
+	if ref.fromEnv {
+		return env[ref.idx]
+	}
+	return int64(cell.Values[ref.idx])
 }

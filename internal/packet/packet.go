@@ -7,6 +7,8 @@
 // port). The Packet struct holds the common fields directly for
 // speed; Field() exposes the generic key-value view used by policy
 // predicates and mapping functions.
+//
+//superfe:deterministic
 package packet
 
 import (

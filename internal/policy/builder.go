@@ -191,7 +191,7 @@ func (b *Builder) Build() (*Policy, error) {
 func (b *Builder) MustBuild() *Policy {
 	p, err := b.Build()
 	if err != nil {
-		panic(fmt.Sprintf("policy %q: %v", b.name, err))
+		panic(fmt.Sprintf("superfe: policy %q: %v", b.name, err))
 	}
 	return p
 }

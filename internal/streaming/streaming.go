@@ -11,6 +11,8 @@
 // naïve counterpart (store-everything, two-pass) used by the Figure
 // 15 ablation, so the memory/computation comparison in the paper can
 // be reproduced directly.
+//
+//superfe:deterministic
 package streaming
 
 import (
@@ -217,6 +219,8 @@ type Sum struct {
 }
 
 // Observe adds the sample.
+//
+//superfe:hotpath
 func (s *Sum) Observe(x int64) { s.sum += x; s.n++ }
 
 // Features returns the running sum.
@@ -240,6 +244,8 @@ type Extremum struct {
 }
 
 // Observe folds the sample into the extremum.
+//
+//superfe:hotpath
 func (e *Extremum) Observe(x int64) {
 	if !e.seen {
 		e.value, e.seen = x, true
@@ -280,6 +286,8 @@ type Welford struct {
 }
 
 // Observe folds one sample into the running moments.
+//
+//superfe:hotpath
 func (w *Welford) Observe(x int64) {
 	w.n++
 	xf := float64(x)
@@ -332,6 +340,8 @@ type Moments struct {
 }
 
 // Observe folds one sample into the running central moments.
+//
+//superfe:hotpath
 func (m *Moments) Observe(x int64) {
 	n1 := float64(m.n)
 	m.n++
@@ -391,6 +401,8 @@ type Array struct {
 }
 
 // Observe appends the sample until the cap is reached.
+//
+//superfe:hotpath
 func (a *Array) Observe(x int64) {
 	if len(a.data) < a.maxLen {
 		a.data = append(a.data, x)

@@ -45,6 +45,8 @@ func NewGPVBank(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*GP
 }
 
 // Process batches the packet in every per-granularity cache.
+//
+//superfe:hotpath
 func (b *GPVBank) Process(p *packet.Packet) {
 	for _, sw := range b.switches {
 		sw.Process(p)

@@ -20,6 +20,8 @@
 // This package substitutes for the ~2K lines of P4-16 plus ~4K lines
 // of control-plane C of the paper's prototype (§7); see DESIGN.md for
 // why the substitution preserves the evaluated behaviour.
+//
+//superfe:deterministic
 package switchsim
 
 import (
@@ -187,6 +189,8 @@ func (s *Switch) Now() int64 { return s.now }
 // Process runs one packet through the pipeline: parse (already done
 // by the packet package), filter, group, batch. It returns whether
 // the packet was selected by the filter.
+//
+//superfe:hotpath
 func (s *Switch) Process(p *packet.Packet) bool {
 	if !s.ingress(p) {
 		return false
@@ -203,6 +207,8 @@ func (s *Switch) Process(p *packet.Packet) bool {
 // that work instead of recomputing it — the software analogue of the
 // paper's "reuse the hash value computed by the switch" optimization
 // (§6.2), applied one hop earlier.
+//
+//superfe:hotpath
 func (s *Switch) ProcessKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
 	if !s.ingress(p) {
 		return false
@@ -332,6 +338,7 @@ func (s *Switch) pushCell(buf *[]gpv.Cell, c *gpv.Cell) {
 	}
 	cp := *c
 	cp.Values = append([]uint32(nil), c.Values...)
+	//superfe:alloc-ok copy mode: evicted cells must outlive the slot's reused buffers
 	*buf = append(b, cp)
 }
 
@@ -396,7 +403,12 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 		}
 		cells = s.evictCells
 	} else {
-		cells = append([]gpv.Cell(nil), sl.short...)
+		n := len(sl.short)
+		if sl.longIdx >= 0 {
+			n += len(s.longBufs[sl.longIdx])
+		}
+		cells = make([]gpv.Cell, 0, n)
+		cells = append(cells, sl.short...)
 		if sl.longIdx >= 0 {
 			cells = append(cells, s.longBufs[sl.longIdx]...)
 			s.longBufs[sl.longIdx] = s.longBufs[sl.longIdx][:0]

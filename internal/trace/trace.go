@@ -14,6 +14,8 @@
 // substitution rationale.
 //
 // All generators are deterministic given a seed.
+//
+//superfe:deterministic
 package trace
 
 import (
