@@ -22,6 +22,7 @@ import (
 	"superfe/internal/harness"
 	"superfe/internal/ilp"
 	"superfe/internal/nicsim"
+	"superfe/internal/obs"
 	"superfe/internal/policy"
 	"superfe/internal/streaming"
 	"superfe/internal/switchsim"
@@ -151,33 +152,45 @@ func BenchmarkFig9SoftwareBaselinePerPacket(b *testing.B) {
 // sharded engine across worker counts — the host-core analogue of
 // Figure 16's NIC-core scaling. A full warmup pass populates every
 // group so the measured window is the steady-state hot path, which
-// must stay allocation-free (checked by -benchmem: 0 allocs/op).
+// must stay allocation-free (checked by -benchmem: 0 allocs/op) both
+// bare and with the telemetry subsystem enabled — the instrumented
+// hot path is fixed handles and atomic adds, and the interval
+// snapshot's allocations amortize over SnapshotInterval packets.
 func BenchmarkParallelPipeline(b *testing.B) {
 	plan := compileApp(b, "NPOD")
 	tr := enterprise()
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			opts := core.DefaultParallelOptions()
-			opts.Workers = workers
-			pe, err := core.NewParallel(opts, plan.Policy, func(feature.Vector) {})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer pe.Close()
-			// Warmup: admit every group and size every buffer.
-			for i := range tr.Packets {
-				pe.Process(&tr.Packets[i])
-			}
-			pe.Drain()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				pe.Process(&tr.Packets[i%len(tr.Packets)])
-			}
-			pe.Drain()
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
-		})
+	for _, bc := range []struct {
+		name         string
+		instrumented bool
+	}{{"bare", false}, {"obs", true}} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", bc.name, workers), func(b *testing.B) {
+				opts := core.DefaultParallelOptions()
+				opts.Workers = workers
+				if bc.instrumented {
+					opts.Obs = obs.DefaultOptions()
+					opts.Obs.Enabled = true
+				}
+				pe, err := core.NewParallel(opts, plan.Policy, func(feature.Vector) {})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pe.Close()
+				// Warmup: admit every group and size every buffer.
+				for i := range tr.Packets {
+					pe.Process(&tr.Packets[i])
+				}
+				pe.Drain()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pe.Process(&tr.Packets[i%len(tr.Packets)])
+				}
+				pe.Drain()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+			})
+		}
 	}
 }
 

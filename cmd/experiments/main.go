@@ -8,21 +8,49 @@
 //	experiments -quick           # CI-sized workloads
 //	experiments -exp fig12       # one experiment
 //	experiments -list            # list experiment ids
+//	experiments -obs-dump out/   # write telemetry artefacts and exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"superfe/internal/apps"
 	"superfe/internal/harness"
+	"superfe/internal/policy"
+	"superfe/internal/trace"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run CI-sized workloads")
 	exp := flag.String("exp", "", "run a single experiment (table2..table4, fig9..fig17)")
 	list := flag.Bool("list", false, "list experiment ids")
+	obsDump := flag.String("obs-dump", "", "replay with telemetry enabled and write metrics.prom/metrics.json/series.csv/timelines.json into this directory")
+	obsPolicy := flag.String("obs-policy", "Kitsune", "policy for -obs-dump")
+	obsWorkers := flag.Int("obs-workers", 1, "worker count for -obs-dump (>1 uses the parallel engine)")
 	flag.Parse()
+
+	if *obsDump != "" {
+		var pol *policy.Policy
+		for _, e := range apps.Catalog() {
+			if strings.EqualFold(e.Name, *obsPolicy) {
+				pol = e.Build()
+			}
+		}
+		if pol == nil {
+			fmt.Fprintf(os.Stderr, "experiments: unknown policy %q\n", *obsPolicy)
+			os.Exit(2)
+		}
+		tr := trace.Generate(trace.EnterpriseConfig, harness.Seed)
+		if err := harness.ObsDump(*obsDump, pol, tr, *obsWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry artefacts written to %s\n", *obsDump)
+		return
+	}
 
 	if *list {
 		for _, id := range []string{"table2", "table3", "table4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"} {

@@ -9,11 +9,15 @@
 //	superfe -policy Kitsune -show         # print policy source + programs
 //	superfe -policy NPOD -trace campus    # run and emit vectors as CSV
 //	superfe -policy TF -trace wfp -stats  # pipeline statistics only
+//	superfe -policy Kitsune -trace enterprise -stats \
+//	    -workers 4 -verify-wire -metrics-addr :9090   # serve telemetry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +26,7 @@ import (
 	"superfe/internal/core"
 	"superfe/internal/feature"
 	"superfe/internal/nicsim"
+	"superfe/internal/obs"
 	"superfe/internal/policy"
 	"superfe/internal/switchsim"
 	"superfe/internal/trace"
@@ -36,6 +41,10 @@ func main() {
 	statsOnly := flag.Bool("stats", false, "print pipeline statistics instead of vectors")
 	maxVecs := flag.Int("n", 0, "emit at most n vectors (0 = all)")
 	workers := flag.Int("workers", 1, "shard the pipeline across n switch+NIC pairs (>1 uses the parallel engine)")
+	verifyWire := flag.Bool("verify-wire", false, "round-trip every switch→NIC message through the binary wire codec; exit non-zero on any mismatch")
+	obsOn := flag.Bool("obs", false, "enable the telemetry subsystem (implied by -metrics-addr and -metrics-out)")
+	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address (e.g. :9090); the process stays alive after the replay for scraping")
+	metricsOut := flag.String("metrics-out", "", "write the final metrics as a Prometheus text dump to this file (- = stdout)")
 	flag.Parse()
 
 	if *list {
@@ -92,9 +101,21 @@ func main() {
 		}
 		fmt.Println(strings.Join(cells, ","))
 	}
+	opts := core.DefaultOptions()
+	opts.VerifyWire = *verifyWire
+	if *metricsAddr != "" || *metricsOut != "" {
+		*obsOn = true
+	}
+	if *obsOn {
+		opts.Obs = obs.DefaultOptions()
+		opts.Obs.Enabled = true
+	}
+
 	var sw pipeStats
+	var src obs.Source
 	if *workers > 1 {
 		popts := core.DefaultParallelOptions()
+		popts.Options = opts
 		popts.Workers = *workers
 		// Deterministic merge keeps the CSV stable run-to-run.
 		popts.DeterministicMerge = true
@@ -103,6 +124,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "superfe:", err)
 			os.Exit(1)
 		}
+		src = pe.ObsSource()
+		serveMetrics(*metricsAddr, src)
 		for i := range tr.Packets {
 			pe.Process(&tr.Packets[i])
 		}
@@ -116,16 +139,29 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		fe, err := core.New(core.DefaultOptions(), pol, sink)
+		fe, err := core.New(opts, pol, sink)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "superfe:", err)
 			os.Exit(1)
 		}
+		src = fe.ObsSource()
+		serveMetrics(*metricsAddr, src)
 		for i := range tr.Packets {
 			fe.Process(&tr.Packets[i])
 		}
 		fe.Flush()
+		if err := fe.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
 		sw.sw, sw.nic = fe.SwitchStats(), fe.NICStats()
+	}
+
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, src); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: metrics dump:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *statsOnly {
@@ -139,6 +175,46 @@ func main() {
 		fmt.Printf("aggregation: %.4f (%.2f%% reduction)\n", sw.sw.AggregationRatio(), 100*(1-sw.sw.AggregationRatio()))
 		fmt.Printf("vectors    : %d of dim %d\n", emitted, pol.FeatureDim())
 	}
+
+	if *metricsAddr != "" {
+		fmt.Fprintf(os.Stderr, "superfe: replay done; serving telemetry on http://%s/metrics — Ctrl-C to exit\n", *metricsAddr)
+		select {}
+	}
+}
+
+// serveMetrics starts the telemetry HTTP server (no-op for an empty
+// address). Live scrapes during the replay are lock-free and
+// race-safe; the series and timeline endpoints are exact once the
+// replay has flushed.
+func serveMetrics(addr string, src obs.Source) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, obs.NewHTTPHandler(src)); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: metrics server:", err)
+			os.Exit(1)
+		}
+	}()
+}
+
+// writeMetrics dumps the final merged snapshot in Prometheus text
+// format to path ("-" = stdout).
+func writeMetrics(path string, src obs.Source) error {
+	snap := src.Scrape()
+	if snap == nil {
+		return fmt.Errorf("telemetry disabled")
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.WritePrometheus(w, snap)
 }
 
 // pipeStats bundles the merged pipeline counters from either

@@ -26,6 +26,7 @@ import (
 	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
 	"superfe/internal/nicsim"
+	"superfe/internal/obs"
 	"superfe/internal/packet"
 	"superfe/internal/policy"
 	"superfe/internal/switchsim"
@@ -39,6 +40,11 @@ type Options struct {
 	// binary codec, exactly as the hardware link would. Slower;
 	// enabled in tests and available for debugging.
 	VerifyWire bool
+	// Obs configures the telemetry subsystem (internal/obs): a
+	// per-engine metrics registry, logical-clock interval snapshots
+	// and sampled flow-lifecycle tracing. Zero value = disabled, which
+	// keeps the hot path byte-identical to the uninstrumented build.
+	Obs obs.Options
 }
 
 // DefaultOptions returns the paper's prototype configuration (§7).
@@ -58,6 +64,12 @@ type SuperFE struct {
 	nic     *nicsim.Runtime
 	enc     []byte // wire-verify scratch; one per engine, so shards never share
 	wireErr error
+
+	// obs is the engine's telemetry pipeline (nil when disabled); rec
+	// drives interval snapshots for the sequential engine only — shards
+	// of a ParallelEngine share the router's recorder instead.
+	obs *obs.Pipeline
+	rec *obs.Recorder
 }
 
 // New compiles the policy and deploys it.
@@ -66,7 +78,14 @@ func New(opts Options, pol *policy.Policy, sink feature.Sink) (*SuperFE, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: compile %q: %w", pol.Name(), err)
 	}
-	return newFromPlan(opts, plan, sink)
+	fe, err := newFromPlan(opts, plan, sink)
+	if err != nil {
+		return nil, err
+	}
+	if fe.obs != nil {
+		fe.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, fe.obs.Registry.Snapshot)
+	}
+	return fe, nil
 }
 
 // newFromPlan deploys an already-compiled plan (the parallel engine
@@ -78,7 +97,15 @@ func newFromPlan(opts Options, plan *policy.Plan, sink feature.Sink) (*SuperFE, 
 	// buffers, keeping the steady-state per-packet path free of
 	// allocations.
 	opts.Switch.ZeroCopy = true
-	fe := &SuperFE{opts: opts, plan: plan}
+	// One telemetry pipeline per engine: the switch and NIC publish
+	// into the same registry, and (in the parallel engine) every shard
+	// builds the identical schema so snapshots merge slot-for-slot.
+	pipe := obs.NewPipeline(opts.Obs)
+	if pipe != nil {
+		opts.Switch.Obs = pipe.Switch
+		opts.NIC.Obs = pipe.NIC
+	}
+	fe := &SuperFE{opts: opts, plan: plan, obs: pipe}
 	var err error
 	fe.nic, err = nicsim.NewRuntime(opts.NIC, plan, sink)
 	if err != nil {
@@ -134,7 +161,9 @@ func (fe *SuperFE) Err() error { return fe.wireErr }
 //
 //superfe:hotpath
 func (fe *SuperFE) Process(p *packet.Packet) bool {
-	return fe.sw.Process(p)
+	ok := fe.sw.Process(p)
+	fe.rec.Tick()
+	return ok
 }
 
 // processKeyed is Process with the CG key and hash precomputed by the
@@ -167,3 +196,44 @@ func (fe *SuperFE) NICStateBytes() int { return fe.nic.StateBytes() }
 // Switch exposes the underlying switch simulator (for experiments
 // that need occupancy probes).
 func (fe *SuperFE) Switch() *switchsim.Switch { return fe.sw }
+
+// Obs returns the engine's telemetry pipeline, nil unless
+// Options.Obs.Enabled.
+func (fe *SuperFE) Obs() *obs.Pipeline { return fe.obs }
+
+// ObsSnapshot captures a point-in-time copy of the telemetry registry
+// (nil when telemetry is disabled). Lock-free; safe to call from any
+// goroutine while Process runs.
+func (fe *SuperFE) ObsSnapshot() *obs.Snapshot {
+	if fe.obs == nil {
+		return nil
+	}
+	return fe.obs.Registry.Snapshot()
+}
+
+// ObsSeries returns the interval snapshot time-series recorded so
+// far (empty when snapshots are disabled).
+func (fe *SuperFE) ObsSeries() *obs.Series { return fe.rec.Series() }
+
+// ObsTimelines reconstructs the sampled flow-lifecycle timelines.
+// Exact at a quiescence point (after Flush); nil when tracing is
+// disabled.
+func (fe *SuperFE) ObsTimelines() []obs.Timeline {
+	if fe.obs == nil || fe.obs.Tracer == nil {
+		return nil
+	}
+	return obs.Timelines(fe.obs.Tracer)
+}
+
+// ObsSource adapts the engine to the obs HTTP handler and dump
+// writers. Endpoints for disabled facilities are left nil.
+func (fe *SuperFE) ObsSource() obs.Source {
+	src := obs.Source{Scrape: fe.ObsSnapshot}
+	if fe.rec != nil {
+		src.Series = fe.ObsSeries
+	}
+	if fe.obs != nil && fe.obs.Tracer != nil {
+		src.Timelines = fe.ObsTimelines
+	}
+	return src
+}

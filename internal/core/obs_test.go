@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"superfe/internal/apps"
+	"superfe/internal/feature"
+	"superfe/internal/obs"
+	"superfe/internal/trace"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func obsTestOptions() obs.Options {
+	return obs.Options{
+		Enabled:          true,
+		SnapshotInterval: 1 << 10,
+		TraceSampleEvery: 4,
+		TraceRingSize:    1 << 12,
+	}
+}
+
+func obsTestTrace() *trace.Trace {
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 400
+	return trace.Generate(cfg, 42)
+}
+
+// TestObsMergeMatchesSequential asserts the tentpole merge invariant:
+// for conservation counters, the sum of the sharded engine's per-shard
+// registries equals the sequential engine's single registry on the
+// same trace — and both agree with the Stats structs they mirror.
+func TestObsMergeMatchesSequential(t *testing.T) {
+	tr := obsTestTrace()
+
+	opts := DefaultOptions()
+	opts.Obs = obsTestOptions()
+	fe, err := New(opts, apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+	seq := fe.ObsSnapshot()
+	seqSW, seqNIC := fe.SwitchStats(), fe.NICStats()
+
+	popts := DefaultParallelOptions()
+	popts.Obs = obsTestOptions()
+	popts.Workers = 4
+	popts.DeterministicMerge = true
+	pe, err := NewParallel(popts, apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	for i := range tr.Packets {
+		pe.Process(&tr.Packets[i])
+	}
+	if err := pe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	par := pe.ObsScrape()
+
+	// Conservation series: identical totals regardless of sharding.
+	conserved := []string{
+		"superfe_switch_pkts_in_total",
+		"superfe_switch_bytes_in_total",
+		"superfe_switch_pkts_filtered_total",
+		"superfe_switch_cells_out_total",
+		"superfe_nic_cells_total",
+		"superfe_nic_vectors_total",
+	}
+	for _, name := range conserved {
+		sv, ok := seq.Value(name)
+		if !ok {
+			t.Fatalf("sequential snapshot missing %s", name)
+		}
+		pv, ok := par.Value(name)
+		if !ok {
+			t.Fatalf("merged parallel snapshot missing %s", name)
+		}
+		if sv != pv {
+			t.Errorf("%s: sequential %d != merged parallel %d", name, sv, pv)
+		}
+	}
+
+	// The registry must mirror the Stats structs exactly.
+	mirror := []struct {
+		name string
+		want uint64
+	}{
+		{"superfe_switch_pkts_in_total", seqSW.PktsIn},
+		{"superfe_switch_bytes_in_total", seqSW.BytesIn},
+		{"superfe_switch_cells_out_total", seqSW.CellsOut},
+		{"superfe_switch_msgs_out_total", seqSW.MsgsOut},
+		{"superfe_switch_bytes_out_total", seqSW.BytesOut},
+		{"superfe_switch_fg_updates_total", seqSW.FGUpdates},
+		{"superfe_nic_msgs_total", seqNIC.Msgs},
+		{"superfe_nic_mgpvs_total", seqNIC.MGPVs},
+		{"superfe_nic_cells_total", seqNIC.Cells},
+		{"superfe_nic_vectors_total", seqNIC.Vectors},
+		{"superfe_nic_groups_live", uint64(seqNIC.GroupsLive)},
+	}
+	for _, m := range mirror {
+		if v, _ := seq.Value(m.name); v != m.want {
+			t.Errorf("%s = %d, want %d (Stats mirror)", m.name, v, m.want)
+		}
+	}
+	for reason := range seqSW.Evictions {
+		label := [4]string{"collision", "full", "aging", "flush"}[reason]
+		if v, _ := seq.Value("superfe_switch_evictions_total", label); v != seqSW.Evictions[reason] {
+			t.Errorf("evictions{reason=%q} = %d, want %d", label, v, seqSW.Evictions[reason])
+		}
+	}
+
+	// Per-shard routing counters must sum to the packet total.
+	var routed uint64
+	for i := 0; i < popts.Workers; i++ {
+		v, ok := par.Value("superfe_engine_shard_pkts_total", strconv.Itoa(i))
+		if !ok {
+			t.Fatalf("missing shard %d routing counter", i)
+		}
+		routed += v
+	}
+	if routed != seqSW.PktsIn {
+		t.Errorf("shard routing counters sum to %d, want %d", routed, seqSW.PktsIn)
+	}
+}
+
+// TestObsDeterministicDumps asserts byte-identical telemetry under a
+// fixed seed: two independent 4-worker runs must render the same
+// Prometheus exposition and the same interval-series CSV.
+func TestObsDeterministicDumps(t *testing.T) {
+	run := func() (promText, seriesCSV []byte) {
+		t.Helper()
+		tr := obsTestTrace()
+		popts := DefaultParallelOptions()
+		popts.Obs = obsTestOptions()
+		popts.Workers = 4
+		popts.DeterministicMerge = true
+		pe, err := NewParallel(popts, apps.NPOD(), func(feature.Vector) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pe.Close()
+		for i := range tr.Packets {
+			pe.Process(&tr.Packets[i])
+		}
+		if err := pe.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var p, c bytes.Buffer
+		if err := obs.WritePrometheus(&p, pe.ObsScrape()); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteSeriesCSV(&c, pe.ObsSeries()); err != nil {
+			t.Fatal(err)
+		}
+		return p.Bytes(), c.Bytes()
+	}
+	p1, c1 := run()
+	p2, c2 := run()
+	if !bytes.Equal(p1, p2) {
+		t.Error("Prometheus dumps differ between fixed-seed runs")
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Error("series CSVs differ between fixed-seed runs")
+	}
+	if len(c1) == 0 || bytes.Count(c1, []byte("\n")) < 2 {
+		t.Errorf("series CSV suspiciously small:\n%s", c1)
+	}
+}
+
+// TestObsPrometheusGolden pins the full seed-42 exposition to a golden
+// file, catching accidental schema, ordering or semantics drift.
+// Regenerate with: go test ./internal/core -run Golden -update
+func TestObsPrometheusGolden(t *testing.T) {
+	tr := obsTestTrace()
+	opts := DefaultOptions()
+	opts.Obs = obsTestOptions()
+	fe, err := New(opts, apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+	var got bytes.Buffer
+	if err := obs.WritePrometheus(&got, fe.ObsSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics_seed42.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("seed-42 exposition drifted from %s (regenerate with -update if intended)", golden)
+	}
+}
+
+// TestObsCompleteTimeline asserts the tracer reconstructs at least one
+// full admit→evict→vector-emit lifecycle, in both engines.
+func TestObsCompleteTimeline(t *testing.T) {
+	o := obsTestOptions()
+	o.TraceSampleEvery = 1 // sample every CG group
+
+	check := func(name string, tls []obs.Timeline) {
+		if len(tls) == 0 {
+			t.Fatalf("%s: no timelines recorded", name)
+		}
+		for i := range tls {
+			if tls[i].Complete() {
+				return
+			}
+		}
+		t.Errorf("%s: no complete admit→evict→emit timeline among %d", name, len(tls))
+	}
+
+	tr := obsTestTrace()
+	opts := DefaultOptions()
+	opts.Obs = o
+	fe, err := New(opts, apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		fe.Process(&tr.Packets[i])
+	}
+	fe.Flush()
+	check("sequential", fe.ObsTimelines())
+
+	popts := DefaultParallelOptions()
+	popts.Obs = o
+	popts.Workers = 4
+	pe, err := NewParallel(popts, apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	for i := range tr.Packets {
+		pe.Process(&tr.Packets[i])
+	}
+	if err := pe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	check("parallel", pe.ObsTimelines())
+}
+
+// TestObsDisabledIsInert: with the zero Options the engines must not
+// build any telemetry state and the accessors must degrade to nils.
+func TestObsDisabledIsInert(t *testing.T) {
+	fe, err := New(DefaultOptions(), apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.Obs() != nil || fe.ObsSnapshot() != nil || fe.ObsTimelines() != nil {
+		t.Error("disabled telemetry must return nils")
+	}
+	if s := fe.ObsSeries(); len(s.Snaps) != 0 {
+		t.Error("disabled telemetry must have an empty series")
+	}
+	pe, err := NewParallel(DefaultParallelOptions(), apps.NPOD(), func(feature.Vector) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pe.Close()
+	if pe.ObsScrape() != nil || pe.ObsTimelines() != nil {
+		t.Error("disabled parallel telemetry must return nils")
+	}
+}

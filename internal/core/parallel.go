@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"superfe/internal/feature"
 	"superfe/internal/flowkey"
 	"superfe/internal/nicsim"
+	"superfe/internal/obs"
 	"superfe/internal/packet"
 	"superfe/internal/policy"
 	"superfe/internal/switchsim"
@@ -106,6 +108,15 @@ type ParallelEngine struct {
 	sink   feature.Sink
 	sinkMu sync.Mutex
 	closed bool
+
+	// Router-level telemetry (nil when Options.Obs is disabled): a
+	// small registry of per-shard routing counters — the packet skew
+	// the CG-hash sharding produces — appended after the merged shard
+	// registries in every snapshot, plus the engine's interval
+	// recorder (ticked per routed packet, captured at a barrier).
+	obsReg    *obs.Registry
+	shardPkts []obs.Counter
+	rec       *obs.Recorder
 }
 
 // NewParallel compiles the policy once and deploys it on Workers
@@ -168,7 +179,43 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		e.shards = append(e.shards, sh)
 		go sh.run()
 	}
+	if opts.Obs.Enabled {
+		// Router-level registry: per-shard routing counters exposing
+		// the packet skew of the CG-hash sharding. Kept separate from
+		// the shard registries (whose schemas must stay identical for
+		// the flat-array merge) and appended to every snapshot.
+		e.obsReg = obs.NewRegistry()
+		e.shardPkts = make([]obs.Counter, opts.Workers)
+		for i := range e.shardPkts {
+			e.shardPkts[i] = e.obsReg.Counter("superfe_engine_shard_pkts_total",
+				"packets routed to each shard (CG-hash skew)", obs.L("shard", strconv.Itoa(i)))
+		}
+		e.obsReg.Seal()
+		e.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, e.captureQuiesced)
+	}
 	return e, nil
+}
+
+// captureQuiesced is the interval recorder's capture: it drains every
+// shard (barrier, no flush) so the merged snapshot is an exact cut —
+// under a fixed seed the same packets yield byte-identical snapshots
+// run-to-run — then merges the shard registries and appends the
+// router's. Router-goroutine only, like Process.
+func (e *ParallelEngine) captureQuiesced() *obs.Snapshot {
+	e.barrier(false)
+	return e.mergedSnapshot()
+}
+
+// mergedSnapshot sums the per-shard registries (identical schemas,
+// so the flat value arrays line up) and appends the router registry.
+func (e *ParallelEngine) mergedSnapshot() *obs.Snapshot {
+	snaps := make([]*obs.Snapshot, len(e.shards))
+	for i, sh := range e.shards {
+		snaps[i] = sh.fe.ObsSnapshot()
+	}
+	merged := obs.MergeSnapshots(snaps...)
+	merged.Append(e.obsReg.Snapshot())
+	return merged
 }
 
 func newBatch(n int) *batch {
@@ -216,7 +263,8 @@ func shardIndex(h uint32, n int) int {
 func (e *ParallelEngine) Process(p *packet.Packet) bool {
 	key, _ := flowkey.KeyFor(e.cg, p.Tuple)
 	h := flowkey.HashKey(key)
-	sh := e.shards[shardIndex(h, len(e.shards))]
+	si := shardIndex(h, len(e.shards))
+	sh := e.shards[si]
 	b := sh.cur
 	b.pkts = append(b.pkts, p)
 	b.keys = append(b.keys, key)
@@ -224,6 +272,10 @@ func (e *ParallelEngine) Process(p *packet.Packet) bool {
 	if len(b.pkts) >= e.opts.BatchSize {
 		e.dispatch(sh)
 	}
+	if e.shardPkts != nil {
+		e.shardPkts[si].Inc()
+	}
+	e.rec.Tick()
 	return e.pred.Eval(p)
 }
 
@@ -357,4 +409,52 @@ func (e *ParallelEngine) quiesce() {
 	if !e.closed {
 		e.barrier(false)
 	}
+}
+
+// ObsScrape merges a live snapshot of every shard's registry plus the
+// router's, without quiescing — every value is read with an atomic
+// load, so it is safe from any goroutine (the HTTP endpoint) while the
+// pipeline runs, at the cost of a slightly torn cross-shard cut. Nil
+// when telemetry is disabled.
+func (e *ParallelEngine) ObsScrape() *obs.Snapshot {
+	if e.obsReg == nil {
+		return nil
+	}
+	return e.mergedSnapshot()
+}
+
+// ObsSeries returns the barrier-quiesced interval time-series (empty
+// when snapshots are disabled).
+func (e *ParallelEngine) ObsSeries() *obs.Series { return e.rec.Series() }
+
+// ObsTimelines reconstructs sampled flow-lifecycle timelines across
+// all shard tracers. Establishes a Drain barrier first: the tracer
+// rings are single-writer per shard and only read at quiescence.
+// Router-goroutine only.
+func (e *ParallelEngine) ObsTimelines() []obs.Timeline {
+	if e.obsReg == nil {
+		return nil
+	}
+	e.quiesce()
+	tracers := make([]*obs.FlowTracer, 0, len(e.shards))
+	for _, sh := range e.shards {
+		if p := sh.fe.Obs(); p != nil && p.Tracer != nil {
+			tracers = append(tracers, p.Tracer)
+		}
+	}
+	return obs.Timelines(tracers...)
+}
+
+// ObsSource adapts the engine to the obs HTTP handler and dump
+// writers: Scrape is live and lock-free, Series and Timelines are
+// exact at quiescence. Endpoints for disabled facilities stay nil.
+func (e *ParallelEngine) ObsSource() obs.Source {
+	src := obs.Source{Scrape: e.ObsScrape}
+	if e.rec != nil {
+		src.Series = e.ObsSeries
+	}
+	if e.obsReg != nil && e.opts.Obs.TraceSampleEvery > 0 {
+		src.Timelines = e.ObsTimelines
+	}
+	return src
 }

@@ -1,0 +1,102 @@
+package harness
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/obs"
+	"superfe/internal/policy"
+	"superfe/internal/trace"
+)
+
+// ObsDump replays pol over tr with the telemetry subsystem enabled
+// and writes the collected artefacts into dir:
+//
+//	metrics.prom    final merged snapshot, Prometheus text format
+//	metrics.json    the same snapshot as JSON
+//	series.csv      logical-clock interval time-series (aggregation
+//	                ratio, eviction mix, occupancy, shard skew, ...)
+//	timelines.json  sampled flow-lifecycle timelines
+//
+// workers > 1 runs the sharded parallel engine with deterministic
+// merge; snapshots are captured at barrier quiescence, so fixed-seed
+// runs produce byte-identical files at any worker count's own
+// configuration.
+func ObsDump(dir string, pol *policy.Policy, tr *trace.Trace, workers int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	oo := obs.DefaultOptions()
+	oo.Enabled = true
+	sink := func(feature.Vector) {}
+	var src obs.Source
+	if workers > 1 {
+		popts := core.DefaultParallelOptions()
+		popts.Workers = workers
+		popts.DeterministicMerge = true
+		popts.Obs = oo
+		pe, err := core.NewParallel(popts, pol, sink)
+		if err != nil {
+			return err
+		}
+		defer pe.Close()
+		for i := range tr.Packets {
+			pe.Process(&tr.Packets[i])
+		}
+		if err := pe.Flush(); err != nil {
+			return err
+		}
+		src = pe.ObsSource()
+	} else {
+		opts := core.DefaultOptions()
+		opts.Obs = oo
+		fe, err := core.New(opts, pol, sink)
+		if err != nil {
+			return err
+		}
+		for i := range tr.Packets {
+			fe.Process(&tr.Packets[i])
+		}
+		fe.Flush()
+		if err := fe.Err(); err != nil {
+			return err
+		}
+		src = fe.ObsSource()
+	}
+	dumps := []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{"metrics.prom", func(w io.Writer) error { return obs.WritePrometheus(w, src.Scrape()) }},
+		{"metrics.json", func(w io.Writer) error { return obs.WriteJSON(w, src.Scrape()) }},
+	}
+	if src.Series != nil {
+		dumps = append(dumps, struct {
+			name  string
+			write func(io.Writer) error
+		}{"series.csv", func(w io.Writer) error { return obs.WriteSeriesCSV(w, src.Series()) }})
+	}
+	if src.Timelines != nil {
+		dumps = append(dumps, struct {
+			name  string
+			write func(io.Writer) error
+		}{"timelines.json", func(w io.Writer) error { return obs.WriteTimelinesJSON(w, src.Timelines()) }})
+	}
+	for _, d := range dumps {
+		f, err := os.Create(filepath.Join(dir, d.name))
+		if err != nil {
+			return err
+		}
+		if err := d.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

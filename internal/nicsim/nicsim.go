@@ -28,6 +28,8 @@ package nicsim
 
 import (
 	"fmt"
+
+	"superfe/internal/obs"
 )
 
 // MemLevel identifies one level of the NFP memory hierarchy
@@ -88,6 +90,11 @@ type Config struct {
 	// Naive switches the runtime to the store-everything reducers of
 	// the Figure 15 ablation.
 	Naive bool
+	// Obs, when non-nil, publishes the runtime's counters, occupancy
+	// gauges and per-MGPV cycle/latency histograms into a telemetry
+	// registry. Nil keeps the hot path byte-identical to the
+	// uninstrumented build.
+	Obs *obs.NICObs
 }
 
 // Optimizations toggles the §6.2 cycle optimizations, enabling the

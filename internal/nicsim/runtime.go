@@ -7,6 +7,7 @@ import (
 	"superfe/internal/feature"
 	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
+	"superfe/internal/obs"
 	"superfe/internal/packet"
 	"superfe/internal/policy"
 	"superfe/internal/streaming"
@@ -33,6 +34,12 @@ type Runtime struct {
 	sink   feature.Sink
 	stats  RuntimeStats
 
+	// obs mirrors cfg.Obs; cyclesPerCell is the cost model's per-cell
+	// price, precomputed once so the CyclesPerMGPV histogram costs one
+	// multiply per message on the hot path.
+	obs           *obs.NICObs
+	cyclesPerCell float64
+
 	// Slab allocator for group state: groups, their reducer slices and
 	// scratch slices are carved from block allocations so admitting a
 	// new group costs amortized fractions of an allocation instead of
@@ -54,7 +61,15 @@ type fgSlot struct {
 	set bool
 }
 
-// RuntimeStats aggregates the NIC-side counters.
+// RuntimeStats aggregates the NIC-side counters. The uint64 fields
+// are monotonic counters: they only ever increase, interval rates are
+// meaningful, and merging shards sums totals. GroupsLive and
+// DRAMEntries are gauges — instantaneous state sizes refreshed by
+// Stats(), not cumulative event counts — so a shard merge sums the
+// current occupancy across shards, and diffing two snapshots of them
+// is meaningless. The telemetry registry (internal/obs) tags them
+// accordingly: gauges are carried through interval deltas while
+// counters are diffed.
 type RuntimeStats struct {
 	Msgs        uint64
 	MGPVs       uint64
@@ -62,8 +77,8 @@ type RuntimeStats struct {
 	Cells       uint64
 	UnknownFG   uint64 // cells whose FG index had no synced key (dropped)
 	Vectors     uint64
-	GroupsLive  int
-	DRAMEntries int // group-table entries past the fixed chain (modelled)
+	GroupsLive  int // gauge: live per-granularity group-state entries
+	DRAMEntries int // gauge: group-table entries past the fixed chain (modelled)
 }
 
 // Add accumulates another runtime's counters — merging shard stats
@@ -129,6 +144,10 @@ type group struct {
 	scratch  []scratchCell
 	lastTS   uint32
 	cells    uint64
+	// admitClock is the runtime's logical clock (total cells
+	// processed) when the group was admitted; emit latency is the
+	// clock distance to the vector emission.
+	admitClock uint64
 }
 
 type scratchCell struct {
@@ -162,6 +181,17 @@ func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, err
 			return nil, err
 		}
 		r.programs = append(r.programs, pr)
+	}
+	if cfg.Obs != nil {
+		r.obs = cfg.Obs
+		// Price the plan once with the architectural cost model so the
+		// CyclesPerMGPV histogram reflects the same cycles the Figure
+		// 16/17 experiments report.
+		pl, err := Place(cfg, plan.NIC.StateSpecs)
+		if err != nil {
+			return nil, err
+		}
+		r.cyclesPerCell = NewCostModel(cfg, plan.NIC, pl).CyclesPerCell()
 	}
 	return r, nil
 }
@@ -270,6 +300,13 @@ func (r *Runtime) newGroup(pr *program, key flowkey.Key) *group {
 	g := &r.slabGroups[0]
 	r.slabGroups = r.slabGroups[1:]
 	g.key = key
+	g.admitClock = r.stats.Cells
+	if o := r.obs; o != nil {
+		o.GroupsLive.Add(1)
+		if len(r.groups)+1 > r.cfg.GroupSlots*r.cfg.TableWidth {
+			o.DRAMEntries.Add(1)
+		}
+	}
 	if n := len(pr.reducerSpec); n > 0 {
 		if len(r.slabReds) < n {
 			r.slabReds = make([]streaming.Reducer, n*groupSlab)
@@ -330,10 +367,16 @@ func (r *Runtime) StateBytes() int {
 //superfe:hotpath
 func (r *Runtime) Process(m gpv.Message) {
 	r.stats.Msgs++
+	if o := r.obs; o != nil {
+		o.Msgs.Inc()
+	}
 	switch {
 	case m.FG != nil:
 		r.fgTable[m.FG.Index] = fgSlot{key: m.FG.Key, set: true}
 		r.stats.FGUpdates++
+		if o := r.obs; o != nil {
+			o.FGUpdates.Inc()
+		}
 	case m.MGPV != nil:
 		r.stats.MGPVs++
 		r.processMGPV(m.MGPV)
@@ -344,6 +387,18 @@ func (r *Runtime) Process(m gpv.Message) {
 // back into every granularity of the chain via the FG keys (§5.1)
 // and running the compiled stages.
 func (r *Runtime) processMGPV(v *gpv.MGPV) {
+	if o := r.obs; o != nil {
+		o.MGPVs.Inc()
+		o.Cells.Add(uint64(len(v.Cells)))
+		if n := len(v.Cells); n > 0 {
+			o.CyclesPerMGPV.Observe(int64(r.cyclesPerCell * float64(n)))
+		}
+		// The MGPV carries the switch-computed CG hash (§6.2 hash
+		// reuse), so the sampling decision matches the switch tracer's.
+		if o.Tracer.Sampled(v.Hash) {
+			o.Tracer.Record(obs.EvNICMerge, v.CG, r.stats.Cells, 0, uint16(len(v.Cells)))
+		}
+	}
 	single := len(r.programs) == 1 && r.plan.Switch.CG == r.plan.Switch.FG
 	for ci := range v.Cells {
 		cell := &v.Cells[ci]
@@ -360,6 +415,9 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 			slot := r.fgTable[cell.FGIndex]
 			if !slot.set {
 				r.stats.UnknownFG++
+				if o := r.obs; o != nil {
+					o.UnknownFG.Inc()
+				}
 				continue
 			}
 			tuple = slot.key
@@ -369,6 +427,7 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 		}
 		perPacketVals := r.ppVals[:0]
 		perPacketEmit := false
+		var fgGroup *group
 		for _, pr := range r.programs {
 			key, fwd := flowkey.KeyFor(pr.gran, tuple)
 			g, ok := r.groups[key]
@@ -376,13 +435,16 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 				g = r.newGroup(pr, key)
 				r.groups[key] = g
 			}
+			if pr.gran == r.plan.Switch.FG {
+				fgGroup = g
+			}
 			vals, emitted := r.runCell(pr, g, cell, fwd, perPacketVals)
 			perPacketVals = vals
 			perPacketEmit = perPacketEmit || emitted
 		}
 		if perPacketEmit {
 			fgKey, _ := flowkey.KeyFor(r.plan.Switch.FG, tuple)
-			r.emitVector(fgKey, r.cellTimestamp(cell), perPacketVals)
+			r.emitVector(fgKey, fgGroup, r.cellTimestamp(cell), perPacketVals)
 		}
 		r.ppVals = perPacketVals[:0] // retain the backing array for the next cell
 	}
@@ -502,9 +564,25 @@ func (r *Runtime) appendSnapshot(dst []float64, g *group, em emitSpec) []float64
 	return dst
 }
 
-// emitVector hands a vector to the sink.
-func (r *Runtime) emitVector(key flowkey.Key, ts int64, vals []float64) {
+// emitVector hands a vector to the sink. g is the emitting FG group
+// (nil when its granularity had no state), used for the emit-latency
+// histogram and the tracer's vector-emit event.
+func (r *Runtime) emitVector(key flowkey.Key, g *group, ts int64, vals []float64) {
 	r.stats.Vectors++
+	if o := r.obs; o != nil {
+		o.Vectors.Inc()
+		if g != nil {
+			o.EmitLatency.Observe(int64(r.stats.Cells - g.admitClock))
+		}
+		if t := o.Tracer; t != nil {
+			// Record under the CG key so the event joins the flow's
+			// switch-side admit/evict events in one timeline.
+			cgKey := flowkey.Project(r.plan.Switch.CG, key.Tuple)
+			if t.Sampled(flowkey.HashKey(cgKey)) {
+				t.Record(obs.EvVectorEmit, cgKey, r.stats.Cells, 0, uint16(len(vals)))
+			}
+		}
+	}
 	r.sink(feature.Vector{Key: key, Timestamp: ts, Values: vals})
 }
 
@@ -548,7 +626,7 @@ func (r *Runtime) Flush() {
 			}
 		}
 		if len(vals) > 0 {
-			r.emitVector(k, int64(g.lastTS), vals)
+			r.emitVector(k, g, int64(g.lastTS), vals)
 		}
 	}
 }

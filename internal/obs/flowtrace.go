@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"sort"
+
+	"superfe/internal/flowkey"
+	"superfe/internal/gpv"
+)
+
+// EventKind is one stage of a flow group's lifecycle through the
+// pipeline.
+type EventKind uint8
+
+// Lifecycle stages, in pipeline order.
+const (
+	EvAdmit      EventKind = iota // CG group admitted to a switch cache slot
+	EvCellAppend                  // one packet's cell batched into the group
+	EvEvict                       // MGPV evicted from the switch (with reason)
+	EvNICMerge                    // MGPV merged into NIC group state
+	EvVectorEmit                  // feature vector emitted for the group
+)
+
+// String names the stage.
+func (k EventKind) String() string {
+	switch k {
+	case EvAdmit:
+		return "admit"
+	case EvCellAppend:
+		return "cell-append"
+	case EvEvict:
+		return "evict"
+	case EvNICMerge:
+		return "nic-merge"
+	case EvVectorEmit:
+		return "vector-emit"
+	}
+	return "event(?)"
+}
+
+// FlowEvent is one recorded lifecycle event. Key is always the CG
+// group key (the sampling unit); Clock is the recording engine's
+// logical clock — packets seen for switch-side events, cells
+// processed for NIC-side events — so ordering across stages comes
+// from Seq, which is the tracer's own monotonic sequence.
+type FlowEvent struct {
+	Seq    uint64
+	Clock  uint64
+	Key    flowkey.Key
+	Kind   EventKind
+	Reason gpv.EvictReason // EvEvict only
+	Cells  uint16          // cells in the MGPV (evict/merge) or vector dim (emit)
+}
+
+// FlowTracer records lifecycle events for 1-in-K sampled CG flow
+// groups into a fixed-size ring. One tracer per shard; recording is
+// a bounds-masked store — no allocation, no locking (single-writer:
+// the shard goroutine). Readers (Events, Timelines) must run at a
+// quiescence point.
+type FlowTracer struct {
+	mask uint32 // sample when hash&mask == 0
+	ring []FlowEvent
+	seq  uint64
+}
+
+// NewFlowTracer samples 1-in-sampleEvery CG groups (rounded up to a
+// power of two) into a ring of ringSize events (likewise rounded).
+// sampleEvery <= 0 returns nil: a nil tracer is safe and records
+// nothing.
+func NewFlowTracer(sampleEvery, ringSize int) *FlowTracer {
+	if sampleEvery <= 0 {
+		return nil
+	}
+	if ringSize <= 0 {
+		ringSize = 4096
+	}
+	return &FlowTracer{
+		mask: uint32(ceilPow2(sampleEvery) - 1),
+		ring: make([]FlowEvent, ceilPow2(ringSize)),
+	}
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Sampled reports whether the CG group with the given key hash is
+// traced. Deterministic: purely a function of the flow hash.
+//
+//superfe:hotpath
+func (t *FlowTracer) Sampled(hash uint32) bool {
+	return t != nil && hash&t.mask == 0
+}
+
+// Record appends one event for a sampled group, overwriting the
+// oldest when the ring is full.
+//
+//superfe:hotpath
+func (t *FlowTracer) Record(kind EventKind, key flowkey.Key, clock uint64, reason gpv.EvictReason, cells uint16) {
+	if t == nil {
+		return
+	}
+	idx := t.seq & uint64(len(t.ring)-1)
+	t.ring[idx] = FlowEvent{Seq: t.seq, Clock: clock, Key: key, Kind: kind, Reason: reason, Cells: cells}
+	t.seq++
+}
+
+// Events returns the retained events in recording order (oldest
+// first). Quiescent-read only.
+func (t *FlowTracer) Events() []FlowEvent {
+	if t == nil {
+		return nil
+	}
+	n := t.seq
+	if n > uint64(len(t.ring)) {
+		n = uint64(len(t.ring))
+	}
+	out := make([]FlowEvent, 0, n)
+	start := t.seq - n
+	for s := start; s < t.seq; s++ {
+		out = append(out, t.ring[s&uint64(len(t.ring)-1)])
+	}
+	return out
+}
+
+// Timeline is the reconstructed lifecycle of one sampled CG flow
+// group: its events in pipeline order.
+type Timeline struct {
+	Key    flowkey.Key
+	Events []FlowEvent
+}
+
+// Complete reports whether the timeline covers a full life: an admit,
+// a later evict, and a later vector emit.
+func (tl *Timeline) Complete() bool {
+	stage := 0
+	for _, e := range tl.Events {
+		switch {
+		case stage == 0 && e.Kind == EvAdmit:
+			stage = 1
+		case stage == 1 && e.Kind == EvEvict:
+			stage = 2
+		case stage == 2 && e.Kind == EvVectorEmit:
+			return true
+		}
+	}
+	return false
+}
+
+// Timelines groups the retained events of one or more tracers by CG
+// key. CG-hash sharding puts all of one group's events on one shard,
+// so within a timeline the single tracer's Seq is a total order.
+// Output is sorted by key for deterministic rendering.
+func Timelines(tracers ...*FlowTracer) []Timeline {
+	var all []FlowEvent
+	for _, t := range tracers {
+		all = append(all, t.Events()...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].Key != all[j].Key {
+			return keyLess(all[i].Key, all[j].Key)
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	var out []Timeline
+	for i := 0; i < len(all); {
+		j := i
+		for j < len(all) && all[j].Key == all[i].Key {
+			j++
+		}
+		out = append(out, Timeline{Key: all[i].Key, Events: all[i:j]})
+		i = j
+	}
+	return out
+}
+
+// keyLess is the deterministic ordering on flow keys used for
+// rendering.
+func keyLess(a, b flowkey.Key) bool {
+	if a.Gran != b.Gran {
+		return a.Gran < b.Gran
+	}
+	ta, tb := a.Tuple, b.Tuple
+	switch {
+	case ta.SrcIP != tb.SrcIP:
+		return ta.SrcIP < tb.SrcIP
+	case ta.DstIP != tb.DstIP:
+		return ta.DstIP < tb.DstIP
+	case ta.SrcPort != tb.SrcPort:
+		return ta.SrcPort < tb.SrcPort
+	case ta.DstPort != tb.DstPort:
+		return ta.DstPort < tb.DstPort
+	}
+	return ta.Proto < tb.Proto
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Source is what an engine exposes to the HTTP handler. Scrape must
+// be safe to call from any goroutine at any time (the registries are
+// read lock-free with atomics); Series and Timelines may return
+// partial views while the pipeline is running and are exact at a
+// quiescence point (after Flush/Drain).
+type Source struct {
+	Scrape    func() *Snapshot
+	Series    func() *Series
+	Timelines func() []Timeline
+}
+
+// NewHTTPHandler serves the telemetry over HTTP:
+//
+//	/metrics        Prometheus text exposition (scrape target)
+//	/metrics.json   the same snapshot as JSON
+//	/series.csv     the interval time-series as CSV
+//	/timelines.json reconstructed flow-lifecycle timelines
+func NewHTTPHandler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WritePrometheus(w, src.Scrape()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteJSON(w, src.Scrape()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/series.csv", func(w http.ResponseWriter, req *http.Request) {
+		if src.Series == nil {
+			http.Error(w, "interval snapshots disabled (set SnapshotInterval)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		if err := WriteSeriesCSV(w, src.Series()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/timelines.json", func(w http.ResponseWriter, req *http.Request) {
+		if src.Timelines == nil {
+			http.Error(w, "flow tracing disabled (set TraceSampleEvery)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteTimelinesJSON(w, src.Timelines()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"superfe/internal/flowkey"
+	"superfe/internal/gpv"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	h := r.Histogram("h", "a histogram", []int64{1, 4, 16})
+	r.Seal()
+
+	c.Inc()
+	c.Add(4)
+	g.Add(10)
+	g.Add(-3)
+	for _, x := range []int64{0, 1, 2, 5, 100} {
+		h.Observe(x)
+	}
+
+	s := r.Snapshot()
+	if v, ok := s.Value("c_total"); !ok || v != 5 {
+		t.Errorf("counter = %d,%v, want 5", v, ok)
+	}
+	if v, ok := s.Value("g"); !ok || int64(v) != 7 {
+		t.Errorf("gauge = %d,%v, want 7", int64(v), ok)
+	}
+	count, sum, buckets, ok := s.HistogramValue("h")
+	if !ok || count != 5 {
+		t.Fatalf("histogram count = %d,%v, want 5", count, ok)
+	}
+	if sum != 108 {
+		t.Errorf("histogram sum = %d, want 108", sum)
+	}
+	// Edges 1,4,16 (+Inf): {0,1}→bucket0, {2}→bucket1, {5}→bucket2, {100}→+Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if buckets[i] != w {
+			t.Errorf("bucket[%d] = %d, want %d", i, buckets[i], w)
+		}
+	}
+}
+
+func TestZeroValueHandlesAreNoOps(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(9)
+	g.Add(-1)
+	h.Observe(42) // must not panic
+}
+
+func TestRegisterAfterSealPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "first")
+	r.Seal()
+	defer func() {
+		msg, _ := recover().(string)
+		if !strings.HasPrefix(msg, "superfe:") {
+			t.Fatalf("panic = %q, want superfe: prefix", msg)
+		}
+	}()
+	r.Counter("b_total", "late")
+	t.Fatal("registration after Seal did not panic")
+}
+
+func TestMergeSnapshotsAndAppend(t *testing.T) {
+	mk := func(c1, g1 uint64) *Snapshot {
+		r := NewRegistry()
+		c := r.Counter("c_total", "counter")
+		g := r.Gauge("g", "gauge")
+		r.Seal()
+		c.Add(c1)
+		g.Add(int64(g1))
+		return r.Snapshot()
+	}
+	merged := MergeSnapshots(mk(3, 10), mk(4, 20))
+	if v, _ := merged.Value("c_total"); v != 7 {
+		t.Errorf("merged counter = %d, want 7", v)
+	}
+	if v, _ := merged.Value("g"); v != 30 {
+		t.Errorf("merged gauge = %d, want 30 (sum-at-snapshot)", v)
+	}
+
+	extra := NewRegistry()
+	ec := extra.Counter("extra_total", "router counter")
+	extra.Seal()
+	ec.Add(99)
+	merged.Append(extra.Snapshot())
+	if v, ok := merged.Value("extra_total"); !ok || v != 99 {
+		t.Errorf("appended series = %d,%v, want 99 (slot re-offset)", v, ok)
+	}
+	if v, _ := merged.Value("c_total"); v != 7 {
+		t.Errorf("append disturbed existing slots: c_total = %d", v)
+	}
+}
+
+func TestDeltaFromDiffsCountersCarriesGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter")
+	g := r.Gauge("g", "gauge")
+	h := r.Histogram("h", "histogram", []int64{10})
+	r.Seal()
+
+	c.Add(5)
+	g.Set(100)
+	h.Observe(3)
+	first := r.Snapshot()
+
+	c.Add(2)
+	g.Set(40)
+	h.Observe(30)
+	second := r.Snapshot()
+
+	d := second.DeltaFrom(first)
+	if v, _ := d.Value("c_total"); v != 2 {
+		t.Errorf("counter delta = %d, want 2", v)
+	}
+	if v, _ := d.Value("g"); v != 40 {
+		t.Errorf("gauge in delta = %d, want instantaneous 40", v)
+	}
+	count, _, buckets, _ := d.HistogramValue("h")
+	if count != 1 || buckets[0] != 0 || buckets[1] != 1 {
+		t.Errorf("histogram delta count=%d buckets=%v, want 1 sample in +Inf", count, buckets)
+	}
+}
+
+func TestRecorderFiresOnInterval(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter")
+	r.Seal()
+	rec := NewRecorder(10, r.Snapshot)
+	for i := 0; i < 35; i++ {
+		c.Inc()
+		rec.Tick()
+	}
+	series := rec.Series()
+	if len(series.Snaps) != 3 {
+		t.Fatalf("got %d interval snapshots for 35 ticks at interval 10, want 3", len(series.Snaps))
+	}
+	for i, s := range series.Snaps {
+		if want := uint64(10 * (i + 1)); s.Clock != want {
+			t.Errorf("snap[%d].Clock = %d, want %d", i, s.Clock, want)
+		}
+		if v, _ := s.Value("c_total"); v != 10 {
+			t.Errorf("snap[%d] counter delta = %d, want 10", i, v)
+		}
+	}
+
+	if rec := NewRecorder(0, r.Snapshot); rec != nil {
+		t.Error("NewRecorder(0, ...) should be nil")
+	}
+	var nilRec *Recorder
+	nilRec.Tick() // must not panic
+	if got := nilRec.Series(); len(got.Snaps) != 0 {
+		t.Error("nil recorder series should be empty")
+	}
+}
+
+func testKey(srcIP uint32) flowkey.Key {
+	return flowkey.Key{Gran: flowkey.GranFlow, Tuple: flowkey.FiveTuple{
+		SrcIP: srcIP, DstIP: 10, SrcPort: 1000, DstPort: 80, Proto: 6,
+	}}
+}
+
+func TestFlowTracerSamplingAndRing(t *testing.T) {
+	tr := NewFlowTracer(64, 8)
+	if tr.Sampled(1) {
+		t.Error("hash 1 should not be sampled at 1-in-64")
+	}
+	if !tr.Sampled(0) || !tr.Sampled(64) {
+		t.Error("hashes ≡ 0 (mod 64) should be sampled")
+	}
+	var nilTr *FlowTracer
+	if nilTr.Sampled(0) {
+		t.Error("nil tracer samples nothing")
+	}
+	nilTr.Record(EvAdmit, testKey(1), 0, 0, 0) // must not panic
+
+	// Overfill the 8-slot ring; the retained window is the newest 8.
+	for i := 0; i < 12; i++ {
+		tr.Record(EvCellAppend, testKey(uint32(i)), uint64(i), 0, 1)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("ring retained %d events, want 8", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(4 + i); e.Seq != want {
+			t.Errorf("event[%d].Seq = %d, want %d (oldest-first)", i, e.Seq, want)
+		}
+	}
+}
+
+func TestTimelineReconstruction(t *testing.T) {
+	a, b := testKey(1), testKey(2)
+	// Interleave two flows across two shard tracers, as CG-hash
+	// sharding would: all of one flow's events on one tracer.
+	t1 := NewFlowTracer(1, 16)
+	t1.Record(EvAdmit, a, 1, 0, 0)
+	t1.Record(EvCellAppend, a, 2, 0, 1)
+	t1.Record(EvEvict, a, 3, gpv.EvictFull, 2)
+	t1.Record(EvNICMerge, a, 4, 0, 2)
+	t1.Record(EvVectorEmit, a, 5, 0, 7)
+	t2 := NewFlowTracer(1, 16)
+	t2.Record(EvAdmit, b, 1, 0, 0)
+	t2.Record(EvEvict, b, 2, gpv.EvictFlush, 1)
+
+	tls := Timelines(t1, t2)
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2", len(tls))
+	}
+	if tls[0].Key != a || tls[1].Key != b {
+		t.Fatalf("timelines not sorted by key: %v, %v", tls[0].Key, tls[1].Key)
+	}
+	if !tls[0].Complete() {
+		t.Error("flow a has admit→evict→emit and should be complete")
+	}
+	if tls[1].Complete() {
+		t.Error("flow b never emitted and should be incomplete")
+	}
+	kinds := make([]EventKind, 0, len(tls[0].Events))
+	for _, e := range tls[0].Events {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []EventKind{EvAdmit, EvCellAppend, EvEvict, EvNICMerge, EvVectorEmit}
+	for i, k := range want {
+		if kinds[i] != k {
+			t.Fatalf("timeline order = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sf_evictions_total", "evictions", L("reason", "full"))
+	h := r.Histogram("sf_cells", "cells per msg", []int64{1, 2})
+	r.Seal()
+	c.Add(3)
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# TYPE sf_evictions_total counter\n",
+		`sf_evictions_total{reason="full"} 3` + "\n",
+		"# TYPE sf_cells histogram\n",
+		`sf_cells_bucket{le="1"} 1` + "\n",
+		`sf_cells_bucket{le="2"} 2` + "\n",
+		`sf_cells_bucket{le="+Inf"} 3` + "\n", // cumulative
+		"sf_cells_sum 12\n",
+		"sf_cells_count 3\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestPipelineDisabled(t *testing.T) {
+	if p := NewPipeline(Options{}); p != nil {
+		t.Fatal("disabled options must yield a nil pipeline")
+	}
+	o := DefaultOptions()
+	o.Enabled = true
+	p := NewPipeline(o)
+	if p == nil || p.Registry == nil || p.Switch == nil || p.NIC == nil {
+		t.Fatal("enabled pipeline missing components")
+	}
+	// All shards must share one schema: two pipelines from the same
+	// options have slot-identical registries.
+	q := NewPipeline(o)
+	pd, qd := p.Registry.Defs(), q.Registry.Defs()
+	if len(pd) != len(qd) {
+		t.Fatalf("schema mismatch: %d vs %d series", len(pd), len(qd))
+	}
+	for i := range pd {
+		if pd[i].Name != qd[i].Name || pd[i].Slot != qd[i].Slot {
+			t.Errorf("series %d differs: %v vs %v", i, pd[i], qd[i])
+		}
+	}
+	// Eviction labels come from the shared enum renderer.
+	for reason := 0; reason < 4; reason++ {
+		want := gpv.EvictReason(reason).String()
+		found := false
+		for _, d := range pd {
+			if d.Name == "superfe_switch_evictions_total" && len(d.Labels) == 1 && d.Labels[0].Value == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no eviction series labelled %q", want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Kind distinguishes the three metric types. The distinction matters
+// twice: Prometheus TYPE lines, and snapshot semantics — counters and
+// histogram slots are monotonic and diffed into interval deltas,
+// gauges are instantaneous and carried through as-is (summed across
+// shards at snapshot time).
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind as Prometheus TYPE lines do.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// LabelPair is one label on a series. Label values are fixed at
+// registration — the registry has no dynamic label lookup, which is
+// what keeps the update path free of maps and allocation.
+type LabelPair struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a LabelPair.
+func L(name, value string) LabelPair { return LabelPair{Name: name, Value: value} }
+
+// SeriesDef is the exposition metadata of one registered series.
+// Slot indexes the registry's flat value array; histograms occupy
+// len(Edges)+3 consecutive slots (count, sum, buckets..., +Inf
+// bucket).
+type SeriesDef struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []LabelPair
+	Slot   int
+	Edges  []int64 // histogram bucket upper bounds (inclusive); nil otherwise
+}
+
+func (d *SeriesDef) slots() int {
+	if d.Kind == KindHistogram {
+		return histHdrSlots + len(d.Edges) + 1
+	}
+	return 1
+}
+
+// Histogram slot layout: vals[slot] = sample count, vals[slot+1] =
+// sum (int64 bits), vals[slot+2...] = bucket counters.
+const histHdrSlots = 2
+
+// Registry is one shard's metric store: every series registered up
+// front, all values in one flat array updated with atomic adds, so a
+// scrape from another goroutine is lock-free and the update path is
+// allocation-free. Registration must complete before the first update
+// or scrape; Seal enforces that in tests.
+type Registry struct {
+	defs   []SeriesDef
+	vals   []uint64
+	sealed bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Seal freezes registration. Further Counter/Gauge/Histogram calls
+// panic — catching the "registered a metric mid-run" bug that would
+// invalidate outstanding handles when the value array grows.
+func (r *Registry) Seal() { r.sealed = true }
+
+func (r *Registry) register(name, help string, kind Kind, edges []int64, labels []LabelPair) int {
+	if r.sealed {
+		panic("superfe: obs: registration after Seal (register all metrics before the pipeline starts)")
+	}
+	def := SeriesDef{Name: name, Help: help, Kind: kind, Labels: labels, Slot: len(r.vals), Edges: edges}
+	r.defs = append(r.defs, def)
+	for i := 0; i < def.slots(); i++ {
+		r.vals = append(r.vals, 0)
+	}
+	return def.Slot
+}
+
+// Counter registers a monotonic counter series.
+func (r *Registry) Counter(name, help string, labels ...LabelPair) Counter {
+	return Counter{r: r, slot: r.register(name, help, KindCounter, nil, labels)}
+}
+
+// Gauge registers an instantaneous gauge series. Per-shard gauges
+// (occupancy, live groups) are summed across shards at snapshot time;
+// within one shard the semantics are last-write.
+func (r *Registry) Gauge(name, help string, labels ...LabelPair) Gauge {
+	return Gauge{r: r, slot: r.register(name, help, KindGauge, nil, labels)}
+}
+
+// Histogram registers a histogram with the given inclusive bucket
+// upper bounds (ascending); samples above the last edge land in an
+// implicit +Inf bucket.
+func (r *Registry) Histogram(name, help string, edges []int64, labels ...LabelPair) Histogram {
+	if len(edges) == 0 {
+		panic("superfe: obs: histogram needs at least one bucket edge")
+	}
+	if !sort.SliceIsSorted(edges, func(i, j int) bool { return edges[i] < edges[j] }) {
+		panic("superfe: obs: histogram edges must be ascending")
+	}
+	return Histogram{r: r, slot: r.register(name, help, KindHistogram, edges, labels), edges: edges}
+}
+
+// Defs returns the registered series in registration order.
+func (r *Registry) Defs() []SeriesDef { return r.defs }
+
+// Counter is a handle to one monotonic series. The zero value is a
+// no-op, so engines can keep handles unconditionally.
+type Counter struct {
+	r    *Registry
+	slot int
+}
+
+// Inc adds one.
+//
+//superfe:hotpath
+func (c Counter) Inc() {
+	if c.r != nil {
+		atomic.AddUint64(&c.r.vals[c.slot], 1)
+	}
+}
+
+// Add adds n.
+//
+//superfe:hotpath
+func (c Counter) Add(n uint64) {
+	if c.r != nil {
+		atomic.AddUint64(&c.r.vals[c.slot], n)
+	}
+}
+
+// Gauge is a handle to one instantaneous series (int64 semantics).
+// The zero value is a no-op.
+type Gauge struct {
+	r    *Registry
+	slot int
+}
+
+// Set stores v (last-write-wins within the owning shard).
+//
+//superfe:hotpath
+func (g Gauge) Set(v int64) {
+	if g.r != nil {
+		atomic.StoreUint64(&g.r.vals[g.slot], uint64(v))
+	}
+}
+
+// Add adds delta (may be negative).
+//
+//superfe:hotpath
+func (g Gauge) Add(delta int64) {
+	if g.r != nil {
+		// Two's-complement addition: correct for int64 deltas on the
+		// uint64 slot.
+		atomic.AddUint64(&g.r.vals[g.slot], uint64(delta))
+	}
+}
+
+// Histogram is a handle to one distribution series. The zero value is
+// a no-op.
+type Histogram struct {
+	r     *Registry
+	slot  int
+	edges []int64
+}
+
+// Observe records one sample: binary search over the fixed edges,
+// three atomic adds, no allocation.
+//
+//superfe:hotpath
+func (h Histogram) Observe(x int64) {
+	if h.r == nil {
+		return
+	}
+	lo, hi := 0, len(h.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= h.edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// lo == len(edges) means the +Inf overflow bucket.
+	atomic.AddUint64(&h.r.vals[h.slot], 1)
+	atomic.AddUint64(&h.r.vals[h.slot+1], uint64(x))
+	atomic.AddUint64(&h.r.vals[h.slot+histHdrSlots+lo], 1)
+}

@@ -124,10 +124,12 @@ type VariableHistogram struct {
 	n     uint64
 }
 
-// NewVariableHistogram builds a histogram whose first bin has width
-// base and whose widths grow by the given integer factor per bin,
-// e.g. base=100, factor=2, bins=8 covers [0,100),[100,300),[300,700)…
-func NewVariableHistogram(base int64, factor int64, bins int) *VariableHistogram {
+// GeometricEdges returns bin upper bounds whose widths start at base
+// and grow by the given integer factor per bin, e.g. base=100,
+// factor=2, bins=8 yields 100, 300, 700, … — the variable-bin-width
+// layout of §6.1, also reused by the telemetry histograms in
+// internal/obs.
+func GeometricEdges(base int64, factor int64, bins int) []int64 {
 	edges := make([]int64, bins)
 	width := base
 	var edge int64
@@ -136,7 +138,14 @@ func NewVariableHistogram(base int64, factor int64, bins int) *VariableHistogram
 		edges[i] = edge
 		width *= factor
 	}
-	return &VariableHistogram{edges: edges, bins: make([]uint32, bins)}
+	return edges
+}
+
+// NewVariableHistogram builds a histogram whose first bin has width
+// base and whose widths grow by the given integer factor per bin,
+// e.g. base=100, factor=2, bins=8 covers [0,100),[100,300),[300,700)…
+func NewVariableHistogram(base int64, factor int64, bins int) *VariableHistogram {
+	return &VariableHistogram{edges: GeometricEdges(base, factor, bins), bins: make([]uint32, bins)}
 }
 
 // Observe increments the bin containing the sample (binary search
@@ -154,6 +163,12 @@ func (v *VariableHistogram) Observe(x int64) {
 	}
 	v.bins[lo]++
 }
+
+// Counts returns the raw bin counters.
+func (v *VariableHistogram) Counts() []uint32 { return v.bins }
+
+// Edges returns the exclusive bin upper bounds.
+func (v *VariableHistogram) Edges() []int64 { return v.edges }
 
 // Features returns the raw bin counts.
 func (v *VariableHistogram) Features() []float64 {

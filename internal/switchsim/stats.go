@@ -1,6 +1,11 @@
 package switchsim
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+
+	"superfe/internal/gpv"
+)
 
 // Stats aggregates the switch counters the experiments read.
 type Stats struct {
@@ -65,9 +70,18 @@ func (s Stats) MessageRatio() float64 {
 	return float64(s.MsgsOut) / float64(s.PktsIn)
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary. Eviction causes are labelled
+// from gpv.EvictReason.String so the rendering tracks the enum — the
+// same labels the telemetry registry uses for its Prometheus series.
 func (s Stats) String() string {
-	return fmt.Sprintf("in=%dpkt/%dB filtered=%d out=%dmsg/%dB cells=%d agg=%.3f evict[col=%d full=%d age=%d flush=%d] fgupd=%d fgow=%d",
+	var ev strings.Builder
+	for i, n := range s.Evictions {
+		if i > 0 {
+			ev.WriteByte(' ')
+		}
+		fmt.Fprintf(&ev, "%s=%d", gpv.EvictReason(i), n)
+	}
+	return fmt.Sprintf("in=%dpkt/%dB filtered=%d out=%dmsg/%dB cells=%d agg=%.3f evict[%s] fgupd=%d fgow=%d",
 		s.PktsIn, s.BytesIn, s.PktsFiltered, s.MsgsOut, s.BytesOut, s.CellsOut, s.AggregationRatio(),
-		s.Evictions[0], s.Evictions[1], s.Evictions[2], s.Evictions[3], s.FGUpdates, s.FGOverwrites)
+		ev.String(), s.FGUpdates, s.FGOverwrites)
 }

@@ -29,6 +29,7 @@ import (
 
 	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
+	"superfe/internal/obs"
 	"superfe/internal/packet"
 	"superfe/internal/policy"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	// while direct users of the simulator keep the default
 	// copy-on-evict behaviour.
 	ZeroCopy bool
+	// Obs, when non-nil, publishes the switch's live telemetry —
+	// counters, occupancy gauges, the cells-per-MGPV histogram and
+	// sampled flow-lifecycle events — into the shard's metrics
+	// registry. All hooks are allocation-free; nil keeps the hot path
+	// byte-identical to an uninstrumented switch.
+	Obs *obs.SwitchObs
 }
 
 // DefaultConfig returns the prototype parameters from §7.
@@ -121,6 +128,7 @@ type Switch struct {
 	now  int64
 	enc  []byte // scratch encode buffer
 	stat Stats
+	obs  *obs.SwitchObs
 
 	// Hot-path scratch. cellScratch is the cell being built for the
 	// current packet (its Values array is reused every packet); the
@@ -159,6 +167,7 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 		stack:    make([]int32, 0, cfg.NumLong),
 		fgTable:  make([]fgEntry, cfg.FGTableSize),
 		out:      sink,
+		obs:      cfg.Obs,
 	}
 	for i := range s.slots {
 		s.slots[i].longIdx = -1
@@ -227,9 +236,16 @@ func (s *Switch) ingress(p *packet.Packet) bool {
 
 	s.stat.PktsIn++
 	s.stat.BytesIn += uint64(p.Size)
+	if o := s.obs; o != nil {
+		o.PktsIn.Inc()
+		o.BytesIn.Add(uint64(p.Size))
+	}
 
 	if !s.plan.Pred.Eval(p) {
 		s.stat.PktsFiltered++
+		if o := s.obs; o != nil {
+			o.PktsFiltered.Inc()
+		}
 		return false
 	}
 	return true
@@ -249,6 +265,13 @@ func (s *Switch) group(p *packet.Packet, cgKey flowkey.Key, hash uint32) {
 		sl.key = cgKey
 		sl.hash = hash
 		s.stat.GroupsAdmitted++
+		if o := s.obs; o != nil {
+			o.GroupsAdmitted.Inc()
+			o.OccupiedSlots.Add(1)
+			if o.Tracer.Sampled(hash) {
+				o.Tracer.Record(obs.EvAdmit, cgKey, s.stat.PktsIn, 0, 0)
+			}
+		}
 	}
 	sl.lastAccess = s.now
 
@@ -276,6 +299,9 @@ func (s *Switch) group(p *packet.Packet, cgKey flowkey.Key, hash uint32) {
 	}
 
 	s.appendCell(sl, cell)
+	if o := s.obs; o != nil && o.Tracer.Sampled(hash) {
+		o.Tracer.Record(obs.EvCellAppend, cgKey, s.stat.PktsIn, 0, 1)
+	}
 }
 
 // fgKeyFor derives the FG key and direction for a packet: the
@@ -302,6 +328,9 @@ func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
 	if !e.occupied || e.key != key {
 		if e.occupied {
 			s.stat.FGOverwrites++
+			if o := s.obs; o != nil {
+				o.FGOverwrites.Inc()
+			}
 		}
 		e.occupied = true
 		e.key = key
@@ -312,6 +341,9 @@ func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
 			s.emit(gpv.Message{FG: &gpv.FGUpdate{Index: uint16(idx), Key: key}})
 		}
 		s.stat.FGUpdates++
+		if o := s.obs; o != nil {
+			o.FGUpdates.Inc()
+		}
 	}
 	return uint16(idx)
 }
@@ -355,6 +387,10 @@ func (s *Switch) appendCell(sl *slot, cell *gpv.Cell) {
 				sl.longIdx = s.stack[n-1]
 				s.stack = s.stack[:n-1]
 				s.stat.LongBufGrants++
+				if o := s.obs; o != nil {
+					o.LongBufGrants.Inc()
+					o.LongGranted.Add(1)
+				}
 			}
 		}
 		return
@@ -423,14 +459,28 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 		}
 		s.stat.Evictions[reason]++
 		s.stat.CellsOut += uint64(len(cells))
+		if o := s.obs; o != nil {
+			o.Evictions[reason].Inc()
+			o.CellsOut.Add(uint64(len(cells)))
+			o.CellsPerMsg.Observe(int64(len(cells)))
+			if o.Tracer.Sampled(sl.hash) {
+				o.Tracer.Record(obs.EvEvict, sl.key, s.stat.PktsIn, reason, uint16(len(cells)))
+			}
+		}
 	}
 	sl.short = sl.short[:0]
 	if release && sl.longIdx >= 0 {
 		s.stack = append(s.stack, sl.longIdx)
 		sl.longIdx = -1
+		if o := s.obs; o != nil {
+			o.LongGranted.Add(-1)
+		}
 	}
 	if reason == gpv.EvictCollision || reason == gpv.EvictAging || reason == gpv.EvictFlush {
 		sl.occupied = false
+		if o := s.obs; o != nil {
+			o.OccupiedSlots.Add(-1)
+		}
 	}
 }
 
@@ -438,7 +488,12 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 // sink.
 func (s *Switch) emit(m gpv.Message) {
 	s.stat.MsgsOut++
-	s.stat.BytesOut += uint64(m.EncodedSize())
+	sz := uint64(m.EncodedSize())
+	s.stat.BytesOut += sz
+	if o := s.obs; o != nil {
+		o.MsgsOut.Inc()
+		o.BytesOut.Add(sz)
+	}
 	s.out(m)
 }
 
