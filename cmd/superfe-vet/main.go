@@ -7,23 +7,42 @@
 //
 // Usage:
 //
-//	superfe-vet [-analyzers a,b,...] [packages]
+//	superfe-vet [-analyzers a,b,...] [-json] [-fix-hints] [packages]
+//	superfe-vet -plans [-json] [patterns]
 //
 // Packages default to ./... relative to the working directory. The
 // exit status is 1 when any diagnostic is reported, 2 on driver
 // errors.
+//
+// -plans switches from source analysis to plan feasibility: every
+// registered policy (the Table 3 catalog in internal/apps plus the
+// example registry in examples/policies) whose home package matches a
+// pattern is compiled and checked against the switch/NIC hardware
+// envelope (internal/planvet), and a per-plan cost report is printed.
+// CI runs `superfe-vet -plans ./examples/...` so an example whose
+// plan outgrows the pipeline fails the build with a diagnostic naming
+// the violated resource.
+//
+// -json emits findings (or plan reports under -plans) as a JSON
+// array on stdout for tooling; -fix-hints appends a remediation hint
+// to each source finding.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"superfe/examples/policies"
+	"superfe/internal/apps"
 	"superfe/internal/lint"
 	"superfe/internal/lint/analysis"
 	"superfe/internal/lint/loader"
+	"superfe/internal/planvet"
+	"superfe/internal/policy"
 )
 
 func main() {
@@ -33,13 +52,21 @@ func main() {
 func run() int {
 	sel := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	plans := flag.Bool("plans", false, "check registered policy plans against the hardware model instead of analyzing source")
+	jsonOut := flag.Bool("json", false, "emit findings (or plan reports) as JSON on stdout")
+	hints := flag.Bool("fix-hints", false, "append a remediation hint to each finding")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: superfe-vet [-analyzers a,b] [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: superfe-vet [-analyzers a,b] [-json] [-fix-hints] [packages]\n"+
+			"       superfe-vet -plans [-json] [patterns]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
+
+	if *plans {
+		return runPlans(flag.Args(), *jsonOut)
+	}
 
 	all := lint.Analyzers()
 	if *list {
@@ -77,16 +104,24 @@ func run() int {
 	}
 
 	type finding struct {
-		pos string
-		msg string
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Message  string `json:"message"`
+		Analyzer string `json:"analyzer"`
+		Hint     string `json:"hint,omitempty"`
 	}
-	seen := map[finding]bool{}
+	type seenKey struct {
+		pos, msg string
+	}
+	seen := map[seenKey]bool{}
 	var findings []finding
 	for _, pkg := range prog.Packages {
 		if !targets[pkg.Path] {
 			continue
 		}
 		for _, a := range analyzers {
+			a := a
 			pass := &analysis.Pass{
 				Analyzer:  a,
 				Fset:      prog.Fset,
@@ -96,16 +131,19 @@ func run() int {
 				Prog:      prog,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
-				f := finding{
-					pos: prog.Fset.Position(d.Pos).String(),
-					msg: fmt.Sprintf("%s [%s]", d.Message, a.Name),
-				}
+				p := prog.Fset.Position(d.Pos)
+				k := seenKey{pos: p.String(), msg: d.Message + a.Name}
 				// Cross-package traversal (hotpathalloc) can reach the
 				// same callee from several roots; report each site once.
-				if !seen[f] {
-					seen[f] = true
-					findings = append(findings, f)
+				if seen[k] {
+					return
 				}
+				seen[k] = true
+				f := finding{File: p.Filename, Line: p.Line, Col: p.Column, Message: d.Message, Analyzer: a.Name}
+				if *hints {
+					f.Hint = fixHints[a.Name]
+				}
+				findings = append(findings, f)
 			}
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(os.Stderr, "superfe-vet: %s: %s: %v\n", a.Name, pkg.Path, err)
@@ -113,14 +151,142 @@ func run() int {
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
-	for _, f := range findings {
-		fmt.Printf("%s: %s\n", f.pos, f.msg)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+			if f.Hint != "" {
+				fmt.Printf("\thint: %s\n", f.Hint)
+			}
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "superfe-vet: %d finding(s) in %d package(s)\n", len(findings), len(prog.Targets))
 		return 1
 	}
-	fmt.Printf("superfe-vet: %d package(s) clean (%d analyzers)\n", len(prog.Targets), len(analyzers))
+	if !*jsonOut {
+		fmt.Printf("superfe-vet: %d package(s) clean (%d analyzers)\n", len(prog.Targets), len(analyzers))
+	}
+	return 0
+}
+
+// fixHints maps each analyzer to its standard remediation, printed
+// under -fix-hints and carried in the JSON output.
+var fixHints = map[string]string{
+	"hotpathalloc":     "hoist the allocation out of the per-packet path (reuse a buffer, preallocate in the constructor) or waive an intentional one with //superfe:alloc-ok <reason>",
+	"nowallclock":      "derive time from packet timestamps and order from sequence numbers; use a seeded rand.Rand; sort map keys before iterating or waive with //superfe:unordered <reason>",
+	"statsmerge":       "reference every field in Merge/Add/Reset/DeltaFrom (or drop the field); a field a merge forgets silently corrupts aggregated stats",
+	"panicdiscipline":  "prefix the panic message with \"superfe: \" so operators can attribute crashes, or return an error instead",
+	"atomicdiscipline": "access the field through sync/atomic everywhere (or guard all access with one mutex), pass lock-bearing structs by pointer, and waive single-threaded phases with //superfe:atomic-ok <reason>",
+	"goroutineleak":    "give the goroutine a shutdown edge — range over a channel that is closed, select on ctx.Done(), or signal a WaitGroup — or waive a process-lifetime worker with //superfe:goroutine-ok <reason>",
+	"sinkretention":    "copy borrowed slices before storing them (dst = append(dst[:0], src...)); the extractor reuses the backing array after the sink returns; waive owned-message topologies with //superfe:retain-ok <reason>",
+}
+
+// planEntry is one registered policy: the Table 3 catalog plus the
+// example registry.
+type planEntry struct {
+	Name  string
+	Pkg   string
+	Build func() *policy.Policy
+}
+
+func planRegistry() []planEntry {
+	var entries []planEntry
+	for _, e := range apps.Catalog() {
+		entries = append(entries, planEntry{Name: e.Name, Pkg: "internal/apps", Build: e.Build})
+	}
+	for _, e := range policies.Registry() {
+		entries = append(entries, planEntry{Name: e.Name, Pkg: e.Pkg, Build: e.Build})
+	}
+	return entries
+}
+
+// matchPattern matches a module-relative package path against a
+// go-style pattern: "./..." and "" match everything, a trailing
+// "/..." matches the prefix, anything else matches exactly.
+func matchPattern(pkg, pattern string) bool {
+	pattern = strings.TrimPrefix(pattern, "./")
+	if pattern == "..." || pattern == "" {
+		return true
+	}
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return pkg == rest || strings.HasPrefix(pkg, rest+"/")
+	}
+	return pkg == pattern
+}
+
+// runPlans implements -plans: compile every registered policy whose
+// home package matches a pattern and check the plan against the
+// hardware model.
+func runPlans(patterns []string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	model := planvet.DefaultModel()
+	var reports []*planvet.Report
+	infeasible := 0
+	for _, e := range planRegistry() {
+		matched := false
+		for _, p := range patterns {
+			if matchPattern(e.Pkg, p) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		r, err := planvet.CheckPolicy(model, e.Name, e.Build())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "superfe-vet:", err)
+			return 2
+		}
+		reports = append(reports, r)
+		if !r.Feasible() {
+			infeasible++
+		}
+	}
+	if len(reports) == 0 {
+		fmt.Fprintf(os.Stderr, "superfe-vet: no registered plans match %v\n", patterns)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe-vet:", err)
+			return 2
+		}
+	} else {
+		for _, r := range reports {
+			fmt.Print(r.String())
+		}
+	}
+	if infeasible > 0 {
+		fmt.Fprintf(os.Stderr, "superfe-vet: %d of %d plan(s) infeasible\n", infeasible, len(reports))
+		return 1
+	}
+	if !jsonOut {
+		fmt.Printf("superfe-vet: %d plan(s) feasible\n", len(reports))
+	}
 	return 0
 }

@@ -190,6 +190,7 @@ func serveMetrics(addr string, src obs.Source) {
 	if addr == "" {
 		return
 	}
+	//superfe:goroutine-ok process-lifetime listener: the CLI blocks on select{} until Ctrl-C, so the server's only shutdown edge is process exit
 	go func() {
 		if err := http.ListenAndServe(addr, obs.NewHTTPHandler(src)); err != nil {
 			fmt.Fprintln(os.Stderr, "superfe: metrics server:", err)

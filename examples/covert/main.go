@@ -8,7 +8,7 @@ import (
 	"fmt"
 	"log"
 
-	"superfe/internal/apps"
+	"superfe/examples/policies"
 	"superfe/internal/core"
 	"superfe/internal/feature"
 	"superfe/internal/flowkey"
@@ -30,7 +30,7 @@ func main() {
 		}
 	}
 
-	pol := apps.NPOD()
+	pol := policies.Covert()
 	var vecs []feature.Vector
 	fe, err := core.New(core.DefaultOptions(), pol, feature.Collect(&vecs))
 	if err != nil {

@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"log"
 
-	"superfe/internal/apps"
+	"superfe/examples/policies"
 	"superfe/internal/core"
 	"superfe/internal/feature"
 	"superfe/internal/mlsim"
@@ -23,7 +23,7 @@ func main() {
 	fmt.Printf("trace: %d sites × %d visits, %d packets\n",
 		cfg.Sites, cfg.VisitsPerSite, len(tr.Packets))
 
-	pol := apps.TF()
+	pol := policies.Fingerprint()
 	var vecs []feature.Vector
 	fe, err := core.New(core.DefaultOptions(), pol, feature.Collect(&vecs))
 	if err != nil {

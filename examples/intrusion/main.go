@@ -12,7 +12,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"superfe/internal/apps"
+	"superfe/examples/policies"
 	"superfe/internal/core"
 	"superfe/internal/feature"
 	"superfe/internal/mlsim"
@@ -34,7 +34,7 @@ func main() {
 	}
 
 	// Deploy Kitsune's extractor on SuperFE.
-	pol := apps.Kitsune()
+	pol := policies.Intrusion()
 	type sample struct {
 		vec   []float64
 		ts    int64

@@ -1,0 +1,71 @@
+// Package policies is the registry of every policy the example
+// programs deploy. The example mains pull their policies from here
+// instead of constructing them inline, so `superfe-vet -plans
+// ./examples/...` can compile and statically verify each one against
+// the switch/NIC resource model (internal/planvet) without executing
+// the examples — package main is not importable, a registry is.
+//
+// Adding an example? Register its policy here and build it via the
+// registry in the example's main; CI rejects plans that exceed the
+// hardware envelope before they ever run.
+package policies
+
+import (
+	"superfe/internal/apps"
+	"superfe/internal/flowkey"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/streaming"
+)
+
+// Entry names one example policy and the example package that
+// deploys it.
+type Entry struct {
+	Name  string // plan name in superfe-vet -plans output
+	Pkg   string // module-relative package that deploys the policy
+	Build func() *policy.Policy
+}
+
+// Registry returns every example policy, one per example program.
+func Registry() []Entry {
+	return []Entry{
+		{"quickstart", "examples/quickstart", Quickstart},
+		{"fingerprint", "examples/fingerprint", Fingerprint},
+		{"covert", "examples/covert", Covert},
+		{"intrusion", "examples/intrusion", Intrusion},
+	}
+}
+
+// Quickstart is the Figure 3 basic statistical policy the quickstart
+// walks through: per TCP flow, packet count plus size and
+// inter-packet-time statistics.
+func Quickstart() *policy.Policy {
+	return policy.New("quickstart").
+		Filter(policy.TCPExists()).
+		GroupBy(flowkey.GranFlow).
+		Map("one", policy.SrcNone, policy.MapOne).
+		Reduce("one", policy.RF(streaming.FSum)).
+		Collect().
+		Reduce("size",
+			policy.RF(streaming.FMean), policy.RF(streaming.FVar),
+			policy.RF(streaming.FMin), policy.RF(streaming.FMax)).
+		Collect().
+		Map("ipt", policy.SrcField(packet.FieldTimestamp), policy.MapIPT).
+		Reduce("ipt",
+			policy.RF(streaming.FMean), policy.RF(streaming.FVar),
+			policy.RF(streaming.FMin), policy.RF(streaming.FMax)).
+		Collect().
+		MustBuild()
+}
+
+// Fingerprint is the website-fingerprinting example's policy: the TF
+// direction-sequence extractor from the Table 3 catalog.
+func Fingerprint() *policy.Policy { return apps.TF() }
+
+// Covert is the covert-channel example's policy: the NPOD
+// inter-packet-time distribution extractor.
+func Covert() *policy.Policy { return apps.NPOD() }
+
+// Intrusion is the intrusion-detection example's policy: the Kitsune
+// multi-granularity damped-statistics extractor.
+func Intrusion() *policy.Policy { return apps.Kitsune() }

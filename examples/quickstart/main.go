@@ -8,38 +8,19 @@ import (
 	"fmt"
 	"log"
 
+	"superfe/examples/policies"
 	"superfe/internal/core"
 	"superfe/internal/feature"
-	"superfe/internal/flowkey"
-	"superfe/internal/packet"
-	"superfe/internal/policy"
-	"superfe/internal/streaming"
 	"superfe/internal/trace"
 )
 
 func main() {
 	// 1. Write the policy: the paper's Figure 3 basic statistical
 	// features — per TCP flow, packet count plus size and
-	// inter-packet-time statistics.
-	pol, err := policy.New("quickstart").
-		Filter(policy.TCPExists()).
-		GroupBy(flowkey.GranFlow).
-		Map("one", policy.SrcNone, policy.MapOne).
-		Reduce("one", policy.RF(streaming.FSum)).
-		Collect().
-		Reduce("size",
-			policy.RF(streaming.FMean), policy.RF(streaming.FVar),
-			policy.RF(streaming.FMin), policy.RF(streaming.FMax)).
-		Collect().
-		Map("ipt", policy.SrcField(packet.FieldTimestamp), policy.MapIPT).
-		Reduce("ipt",
-			policy.RF(streaming.FMean), policy.RF(streaming.FVar),
-			policy.RF(streaming.FMin), policy.RF(streaming.FMax)).
-		Collect().
-		Build()
-	if err != nil {
-		log.Fatalf("build policy: %v", err)
-	}
+	// inter-packet-time statistics. The operator chain lives in the
+	// examples/policies registry so `superfe-vet -plans` can verify
+	// it fits the hardware envelope without running this program.
+	pol := policies.Quickstart()
 	fmt.Println("Policy source:")
 	fmt.Println(pol.Source())
 

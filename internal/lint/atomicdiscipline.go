@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"superfe/internal/lint/analysis"
+)
+
+// AtomicDiscipline enforces the access discipline the sharded engine
+// and the obs registry rest on: a struct field that is ever touched
+// through sync/atomic is an atomic field, and every other access to it
+// (or to its elements, for slice/array fields like the registry's flat
+// value array) must also go through sync/atomic. Mixed access is a
+// data race the race detector only catches when a test happens to
+// interleave it; the type-based check catches it on every build.
+//
+// The analyzer additionally flags by-value copies of structs that
+// contain atomic fields or sync.Mutex/RWMutex/WaitGroup/Once fields
+// (value parameters, value receivers, assignments from a dereference):
+// the copy silently forks the synchronization state.
+//
+// Single-threaded phases that legitimately touch atomic fields
+// non-atomically (registration before the pipeline starts, teardown
+// after quiescence) are suppressed with //superfe:atomic-ok <reason>
+// on (or immediately above) the offending line.
+var AtomicDiscipline = &analysis.Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "require all accesses to atomically-touched struct fields to go through sync/atomic; flag copies of lock/atomic-bearing structs",
+	Run:  runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *analysis.Pass) error {
+	atomicFields := collectAtomicFields(pass.Prog)
+	dirs := newDirectives(pass.Fset, pass.Files)
+	c := &atomicChecker{pass: pass, dirs: dirs, fields: atomicFields}
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.inspect)
+	}
+	return nil
+}
+
+// collectAtomicFields walks the whole module once and returns the set
+// of struct-field objects whose address (or an element's address)
+// reaches a sync/atomic call.
+func collectAtomicFields(prog *analysis.Program) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg.Info, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					if fld := fieldObject(pkg.Info, un.X); fld != nil {
+						fields[fld] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// isAtomicCall reports whether the call targets the sync/atomic
+// package (functions or the atomic.Int64-style method sets).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObject resolves the struct field an lvalue expression denotes:
+// x.f, x.f[i], (*p).f[i] all resolve to f. Non-field lvalues return
+// nil.
+func fieldObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.IndexExpr:
+		return fieldObject(info, e.X)
+	case *ast.StarExpr:
+		return fieldObject(info, e.X)
+	}
+	return nil
+}
+
+type atomicChecker struct {
+	pass   *analysis.Pass
+	dirs   *directives
+	fields map[types.Object]bool
+}
+
+func (c *atomicChecker) report(n ast.Node, format string, args ...any) {
+	if c.dirs.at(n.Pos(), "atomic-ok") {
+		return
+	}
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+func (c *atomicChecker) inspect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		// Ranging over an atomic field reads only the slice header,
+		// which is frozen after registration — the discipline applies
+		// to elements, and element accesses in the body are still
+		// checked.
+		if fieldObject(c.pass.TypesInfo, n.X) != nil && c.fields[fieldObject(c.pass.TypesInfo, n.X)] {
+			if n.Key != nil {
+				ast.Inspect(n.Key, c.inspect)
+			}
+			if n.Value != nil {
+				ast.Inspect(n.Value, c.inspect)
+			}
+			ast.Inspect(n.Body, c.inspect)
+			return false
+		}
+	case *ast.CallExpr:
+		if isBuiltinCall(c.pass.TypesInfo, n, "len") || isBuiltinCall(c.pass.TypesInfo, n, "cap") {
+			// len/cap of the field itself reads only the slice header
+			// (len(x.f[i]) reads an element and stays checked).
+			if len(n.Args) == 1 {
+				if _, ok := ast.Unparen(n.Args[0]).(*ast.SelectorExpr); ok {
+					return false
+				}
+			}
+		}
+		if isAtomicCall(c.pass.TypesInfo, n) {
+			// Accesses inside the atomic call's own &-arguments are the
+			// discipline, not a violation: skip the whole subtree of
+			// each address-of argument.
+			for _, arg := range n.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					continue
+				}
+				ast.Inspect(arg, c.inspect)
+			}
+			ast.Inspect(n.Fun, c.inspect)
+			return false
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal && c.fields[sel.Obj()] {
+			c.report(n, "non-atomic access to %s, a field touched via sync/atomic elsewhere", sel.Obj().Name())
+			return false
+		}
+	case *ast.FuncDecl:
+		c.checkCopyParams(n)
+	case *ast.AssignStmt:
+		c.checkCopyAssign(n)
+	}
+	return true
+}
+
+// checkCopyParams flags by-value parameters and receivers whose type
+// carries synchronization state.
+func (c *atomicChecker) checkCopyParams(fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := c.pass.TypesInfo.Types[f.Type].Type
+			if t == nil {
+				continue
+			}
+			if name := syncBearing(t, c.fields); name != "" {
+				c.report(f.Type, "%s passes %s by value, copying its %s", fd.Name.Name, t.String(), name)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+// checkCopyAssign flags assignments that copy a sync-bearing struct by
+// value out of a dereference (x := *p and *dst = *src are both forks
+// of live synchronization state).
+func (c *atomicChecker) checkCopyAssign(asg *ast.AssignStmt) {
+	for _, rhs := range asg.Rhs {
+		star, ok := ast.Unparen(rhs).(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		t := c.pass.TypesInfo.Types[star].Type
+		if t == nil {
+			continue
+		}
+		if name := syncBearing(t, c.fields); name != "" {
+			c.report(rhs, "copies %s by value, forking its %s", t.String(), name)
+		}
+	}
+}
+
+// syncBearing reports why a type must not be copied: it is (or
+// directly embeds) a sync lock type, or it is a struct with a field in
+// the module's atomic-field set. Returns "" for freely copyable types.
+func syncBearing(t types.Type, atomicFields map[types.Object]bool) string {
+	if isSyncLockType(t) {
+		return "lock state"
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if atomicFields[f] {
+			return "atomically-updated field " + f.Name()
+		}
+		if isSyncLockType(f.Type()) {
+			return "sync." + f.Type().(*types.Named).Obj().Name() + " field " + f.Name()
+		}
+	}
+	return ""
+}
+
+// isSyncLockType reports whether t is one of the sync types that must
+// never be copied after first use.
+func isSyncLockType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"superfe/internal/lint/analysis"
+)
+
+// GoroutineLeak requires every go statement to carry a provable
+// shutdown edge. A pipeline that spawns shard workers or an HTTP
+// metrics server without a termination path leaks goroutines across
+// engine restarts, which in long-lived collectors turns into unbounded
+// memory growth and lost flush-on-close semantics.
+//
+// Accepted evidence, checked against the body of the spawned function
+// (resolved through the module call graph for `go sh.run()`-style
+// spawns, or the literal body for `go func() {...}()`):
+//
+//   - a WaitGroup Done/Add pairing: the body calls (or defers)
+//     wg.Done();
+//   - a receive or range over a channel whose variable/field is the
+//     argument of a close() call somewhere in the module;
+//   - a select/receive on a context Done channel (ctx.Done());
+//   - a bounded loop: bodies without any loop at all terminate by
+//     construction once their statements finish.
+//
+// Deliberately process-lifetime goroutines (signal handlers, metrics
+// listeners that live until exit) are suppressed with
+// //superfe:goroutine-ok <reason> on (or immediately above) the go
+// statement.
+var GoroutineLeak = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "require every go statement to have a provable shutdown edge (WaitGroup, closed channel, context) or a //superfe:goroutine-ok waiver",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *analysis.Pass) error {
+	graph := graphFor(pass.Prog)
+	dirs := newDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if dirs.at(g.Pos(), "goroutine-ok") {
+				return true
+			}
+			if !provablyTerminates(pass.TypesInfo, graph, g.Call) {
+				pass.Reportf(g.Pos(), "goroutine has no provable shutdown edge (WaitGroup Done, receive on a closed channel, or ctx.Done()); add one or annotate //superfe:goroutine-ok <reason>")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// provablyTerminates looks for shutdown evidence in the spawned
+// function's body. For `go fn(...)` and `go x.m(...)` the body is
+// resolved through the call graph; for `go func(){...}()` the literal
+// body is inspected directly. Unresolvable dynamic spawns (interface
+// methods, function values) yield false: they need an explicit waiver.
+func provablyTerminates(info *types.Info, graph *callGraph, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyHasShutdownEdge(info, graph, lit.Body)
+	}
+	fn := staticCallee(info, call)
+	if fn == nil {
+		return false
+	}
+	fd := graph.FuncDecl(fn)
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	owner := graph.PackageOf(fn)
+	if owner == nil {
+		return false
+	}
+	return bodyHasShutdownEdge(owner.Info, graph, fd.Body)
+}
+
+// bodyHasShutdownEdge scans one function body for any of the accepted
+// termination signals. If the body contains no loop at all it
+// terminates by construction.
+func bodyHasShutdownEdge(info *types.Info, graph *callGraph, body *ast.BlockStmt) bool {
+	hasLoop := false
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			hasLoop = true
+		case *ast.RangeStmt:
+			hasLoop = true
+			// range over a channel that the module closes somewhere.
+			if isClosedChannel(info, graph, n.X) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			// <-ch receive on a closed channel or on ctx.Done().
+			if n.Op.String() == "<-" {
+				if isClosedChannel(info, graph, n.X) || isContextDone(info, n.X) {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			// wg.Done() — accept any method named Done on a
+			// sync.WaitGroup receiver.
+			if isWaitGroupDone(info, n) {
+				found = true
+			}
+			// net/http serve loops block until Shutdown/Close: they are
+			// loops even though no for statement is visible.
+			if isBlockingServe(info, n) {
+				hasLoop = true
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+	return !hasLoop
+}
+
+// isClosedChannel reports whether the expression denotes a
+// channel-typed variable or field for which a close() site exists
+// anywhere in the module.
+func isClosedChannel(info *types.Info, graph *callGraph, e ast.Expr) bool {
+	t := info.Types[ast.Unparen(e)].Type
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); !ok {
+		return false
+	}
+	obj := rootObject(info, e)
+	return obj != nil && graph.ChannelClosed(obj)
+}
+
+// isContextDone reports whether the expression is a ctx.Done() call on
+// a context.Context value.
+func isContextDone(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	rt := info.Types[sel.X].Type
+	if rt == nil {
+		return false
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isBlockingServe reports whether the call blocks until an external
+// shutdown: the net/http accept loops (and their TLS variants), which
+// never return on their own.
+func isBlockingServe(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return false
+	}
+	switch fn.Name() {
+	case "ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS":
+		return true
+	}
+	return false
+}
+
+// isWaitGroupDone reports whether the call is Done() on a
+// *sync.WaitGroup.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

@@ -38,6 +38,7 @@ var HotPathAlloc = &analysis.Analyzer{
 }
 
 func runHotPathAlloc(pass *analysis.Pass) error {
+	graph := graphFor(pass.Prog)
 	visited := map[*types.Func]bool{}
 	var visit func(fn *types.Func)
 	visit = func(fn *types.Func) {
@@ -45,14 +46,14 @@ func runHotPathAlloc(pass *analysis.Pass) error {
 			return
 		}
 		visited[fn] = true
-		fd := pass.Prog.FuncDecl(fn)
+		fd := graph.FuncDecl(fn)
 		if fd == nil || fd.Body == nil {
 			return // outside the module, or bodyless
 		}
 		if funcDirective(fd, "coldpath") {
 			return
 		}
-		owner := pass.Prog.PackageByPath(fn.Pkg().Path())
+		owner := graph.PackageOf(fn)
 		if owner == nil {
 			return
 		}
@@ -142,10 +143,62 @@ func (c *hotChecker) inspect(n ast.Node) bool {
 				c.report(n, "builds a map literal")
 			}
 		}
+	case *ast.AssignStmt:
+		c.checkAssignBoxing(n)
+	case *ast.ReturnStmt:
+		c.checkReturnBoxing(n)
 	case *ast.CallExpr:
 		c.checkCall(n)
 	}
 	return true
+}
+
+// checkAssignBoxing flags assignments that store a concrete
+// non-pointer value into an interface-typed destination — the boxing
+// escape the call-argument check misses when the interface travels
+// through a variable or field instead of a parameter.
+func (c *hotChecker) checkAssignBoxing(asg *ast.AssignStmt) {
+	if asg.Tok == token.DEFINE {
+		return // := infers the type from the RHS, no boxing introduced
+	}
+	if len(asg.Lhs) != len(asg.Rhs) {
+		return // tuple assignment: RHS types mirror the LHS, no boxing introduced
+	}
+	info := c.pkg.Info
+	for i, lhs := range asg.Lhs {
+		lt := info.Types[lhs].Type
+		if lt == nil {
+			continue
+		}
+		if _, ok := lt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		rt := info.Types[asg.Rhs[i]].Type
+		if rt == nil || boxFree(rt) {
+			continue
+		}
+		c.report(asg.Rhs[i], "boxes a %s into an interface on assignment", rt.String())
+	}
+}
+
+// checkReturnBoxing flags returns of concrete non-pointer values from
+// interface-typed results.
+func (c *hotChecker) checkReturnBoxing(ret *ast.ReturnStmt) {
+	sig, ok := c.fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	info := c.pkg.Info
+	for i, e := range ret.Results {
+		if _, ok := sig.Results().At(i).Type().Underlying().(*types.Interface); !ok {
+			continue
+		}
+		rt := info.Types[e].Type
+		if rt == nil || boxFree(rt) {
+			continue
+		}
+		c.report(e, "boxes a %s into an interface result", rt.String())
+	}
 }
 
 func (c *hotChecker) checkCall(call *ast.CallExpr) {
@@ -181,7 +234,7 @@ func (c *hotChecker) checkCall(call *ast.CallExpr) {
 		}
 		return
 	}
-	callee := c.staticCallee(call)
+	callee := staticCallee(c.pkg.Info, call)
 	if callee != nil && callee.Pkg() != nil {
 		switch callee.Pkg().Path() {
 		case "fmt":
@@ -319,38 +372,6 @@ func (c *hotChecker) builtinName(call *ast.CallExpr) string {
 		return b.Name()
 	}
 	return ""
-}
-
-// staticCallee resolves the called function when the call target is
-// static: a package-level function, a qualified import, or a method
-// on a concrete receiver. Interface methods and function values
-// return nil.
-func (c *hotChecker) staticCallee(call *ast.CallExpr) *types.Func {
-	info := c.pkg.Info
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if fn, ok := info.Uses[fun].(*types.Func); ok {
-			return fn
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := info.Selections[fun]; ok {
-			fn, ok := sel.Obj().(*types.Func)
-			if !ok {
-				return nil
-			}
-			if recv := sel.Recv(); recv != nil {
-				if _, isIface := recv.Underlying().(*types.Interface); isIface {
-					return nil // dynamic dispatch
-				}
-			}
-			return fn
-		}
-		// Qualified identifier (pkg.Func).
-		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
-		}
-	}
-	return nil
 }
 
 func isString(t types.Type) bool {

@@ -27,9 +27,23 @@
 //	                         asserts the loop body is
 //	                         order-insensitive (commutative reduction
 //	                         or sorted afterwards).
+//	//superfe:atomic-ok      on (or immediately above) a flagged
+//	                         line: suppresses atomicdiscipline — the
+//	                         access happens in a provably
+//	                         single-threaded phase (stated reason
+//	                         required).
+//	//superfe:goroutine-ok   on (or immediately above) a go
+//	                         statement: suppresses goroutineleak —
+//	                         the goroutine is process-lifetime by
+//	                         design (stated reason required).
+//	//superfe:retain-ok      on (or immediately above) a flagged
+//	                         line: suppresses sinkretention with a
+//	                         stated reason why the borrowed data does
+//	                         not outlive the call.
 //
-// See DESIGN.md ("Invariant annotations and superfe-vet") for the
-// full vocabulary and rationale.
+// See DESIGN.md ("Invariant annotations and superfe-vet" and "Typed
+// dataflow analysis and planvet") for the full vocabulary and
+// rationale.
 package lint
 
 import (
@@ -47,6 +61,9 @@ func Analyzers() []*analysis.Analyzer {
 		NoWallClock,
 		StatsMerge,
 		PanicDiscipline,
+		AtomicDiscipline,
+		GoroutineLeak,
+		SinkRetention,
 	}
 }
 

@@ -35,6 +35,30 @@ func TestPanicDiscipline(t *testing.T) {
 	}
 }
 
+func TestAtomicDiscipline(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lint.AtomicDiscipline, "atomic")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded atomicdiscipline violations, got none")
+	}
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lint.GoroutineLeak, "goroutine")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded goroutineleak violations, got none")
+	}
+}
+
+func TestSinkRetention(t *testing.T) {
+	// The fixture package is deliberately named "feature" so its Vector
+	// matches the analyzer's borrowed-type set like the real
+	// feature.Vector does.
+	diags := analysistest.Run(t, "testdata", lint.SinkRetention, "feature")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded sinkretention violations, got none")
+	}
+}
+
 // TestSuite sanity-checks the registry the multichecker runs.
 func TestSuite(t *testing.T) {
 	as := lint.Analyzers()

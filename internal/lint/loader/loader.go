@@ -4,7 +4,10 @@
 // "source" importer for standard-library dependencies (no export
 // data or network access needed). It understands just enough of the
 // go command's pattern language — "./...", "./internal/...", plain
-// directories — to drive `superfe-vet ./...` from CI.
+// directories — to drive `superfe-vet ./...` from CI, and applies the
+// go tool's file-selection rules: //go:build constraints are evaluated
+// against the host GOOS/GOARCH and implicit _GOOS/_GOARCH filename
+// suffixes are honored.
 //
 // Test files (*_test.go) are not loaded: the invariants superfe-vet
 // enforces are production-code invariants, and external test
@@ -15,12 +18,14 @@ package loader
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -218,7 +223,92 @@ func hasGoFiles(dir string) bool {
 func isSourceFile(e os.DirEntry) bool {
 	name := e.Name()
 	return !e.IsDir() && strings.HasSuffix(name, ".go") &&
-		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_")
+		!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") &&
+		matchesFilenameTags(name)
+}
+
+// knownOS and knownArch are the GOOS/GOARCH values recognized in
+// implicit filename constraints (name_GOOS.go, name_GOARCH.go,
+// name_GOOS_GOARCH.go), mirroring go/build's lists.
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// matchesFilenameTags applies the go tool's implicit filename
+// constraints: a file named name_GOOS.go, name_GOARCH.go or
+// name_GOOS_GOARCH.go only builds when the suffixes match the host.
+func matchesFilenameTags(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// satisfiesBuildConstraint evaluates a parsed file's //go:build line
+// (or legacy // +build lines) against the host GOOS/GOARCH. Files
+// without a constraint always build. Release tags (go1.N) are treated
+// as satisfied, matching a current toolchain; the "unix" pseudo-tag
+// covers the GOOS values go/build classifies as unix-like.
+func satisfiesBuildConstraint(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}
+
+var unixLike = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+func buildTagSatisfied(tag string) bool {
+	switch {
+	case tag == runtime.GOOS || tag == runtime.GOARCH:
+		return true
+	case tag == "unix":
+		return unixLike[runtime.GOOS]
+	case strings.HasPrefix(tag, "go1"):
+		return true
+	}
+	return false
 }
 
 func (s *state) importPathFor(dir string) (string, error) {
@@ -295,7 +385,13 @@ func (s *state) load(importPath string) (*analysis.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !satisfiesBuildConstraint(f) {
+			continue
+		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loader: all Go files in %s are excluded by build constraints", dir)
 	}
 
 	info := analysis.InfoTemplate()

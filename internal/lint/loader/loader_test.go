@@ -1,0 +1,97 @@
+package loader
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestLoadDirMultiFile proves multi-file packages type-check as one
+// unit and build-tag-guarded files are filtered the way the go tool
+// filters them.
+func TestLoadDirMultiFile(t *testing.T) {
+	prog, err := LoadDir("testdata/src/multi", "multi")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	pkg := prog.Packages[0]
+	scope := pkg.Types.Scope()
+
+	// Cross-file references resolved: A (a.go) calls b (b.go).
+	for _, name := range []string{"A", "FromA", "b"} {
+		if scope.Lookup(name) == nil {
+			t.Errorf("scope is missing %s — multi-file package not checked as a unit", name)
+		}
+	}
+
+	// A satisfied //go:build constraint keeps its file.
+	if scope.Lookup("TaggedTrue") == nil {
+		t.Error("tagged.go (//go:build go1.1) was excluded; satisfied constraints must keep their files")
+	}
+
+	// An unsatisfied //go:build constraint drops its file. The guarded
+	// file redeclares FromA, so inclusion would also fail the
+	// type-check outright.
+	if scope.Lookup("Excluded") != nil {
+		t.Error("excluded.go (//go:build superfe_loader_fixture_excluded) was loaded despite its unsatisfied constraint")
+	}
+
+	// Implicit filename constraint: only_windows.go builds only on
+	// windows.
+	if got := scope.Lookup("WindowsOnly") != nil; got != (runtime.GOOS == "windows") {
+		t.Errorf("only_windows.go loaded=%v on GOOS=%s", got, runtime.GOOS)
+	}
+
+	wantFiles := 3
+	if runtime.GOOS == "windows" {
+		wantFiles = 4
+	}
+	if len(pkg.Files) != wantFiles {
+		t.Errorf("loaded %d files, want %d", len(pkg.Files), wantFiles)
+	}
+}
+
+// TestMatchesFilenameTags pins the implicit GOOS/GOARCH filename
+// rules.
+func TestMatchesFilenameTags(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"plain.go", true},
+		{"snake_case_name.go", true},
+		{"x_" + runtime.GOOS + ".go", true},
+		{"x_" + runtime.GOARCH + ".go", true},
+		{"x_" + runtime.GOOS + "_" + runtime.GOARCH + ".go", true},
+		{"x_windows.go", runtime.GOOS == "windows"},
+		{"x_plan9.go", runtime.GOOS == "plan9"},
+		{"x_wasm.go", runtime.GOARCH == "wasm"},
+		{"x_windows_arm.go", runtime.GOOS == "windows" && runtime.GOARCH == "arm"},
+	}
+	for _, c := range cases {
+		if got := matchesFilenameTags(c.name); got != c.want {
+			t.Errorf("matchesFilenameTags(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestLoadAllExcluded verifies the loader reports a clear error when
+// constraints exclude every file rather than silently returning an
+// empty package.
+func TestLoadAllExcluded(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir+"/go.mod", "module allexcluded\n")
+	writeFile(t, dir+"/only.go", "//go:build superfe_loader_fixture_excluded\n\npackage allexcluded\n")
+	_, err := Load(dir, ".")
+	if err == nil || !strings.Contains(err.Error(), "excluded by build constraints") {
+		t.Fatalf("Load over fully-excluded package: err = %v, want build-constraint error", err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,10 @@
+// Package multi is the loader fixture: a multi-file package with
+// build-tag-guarded files. A references declarations from b.go to
+// prove the files are type-checked together.
+package multi
+
+// FromA anchors this file.
+const FromA = 1
+
+// A spans files.
+func A() int { return b() + FromA }

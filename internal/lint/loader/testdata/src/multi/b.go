@@ -1,0 +1,4 @@
+package multi
+
+// b lives in a second file of the same package.
+func b() int { return 2 }

@@ -1,0 +1,11 @@
+//go:build superfe_loader_fixture_excluded
+
+package multi
+
+// Excluded must never be loaded: the guarding tag is never set. It
+// redeclares FromA, so accidentally including this file is a
+// type-check failure, not a silent pass.
+const FromA = 999
+
+// Excluded marks the file for the loader test's scope assertions.
+const Excluded = true

@@ -1,0 +1,5 @@
+package multi
+
+// WindowsOnly is excluded everywhere but windows by the filename
+// suffix alone — the file carries no //go:build line.
+const WindowsOnly = true

@@ -1,0 +1,7 @@
+//go:build go1.1
+
+package multi
+
+// TaggedTrue is guarded by an always-satisfied release tag, proving
+// satisfied constraints keep their files in the package.
+const TaggedTrue = 3

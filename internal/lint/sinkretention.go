@@ -1,0 +1,405 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"superfe/internal/lint/analysis"
+)
+
+// SinkRetention mechanizes the documented-but-previously-unchecked
+// contract of feature.Sink and the switchsim message sinks: the
+// Vector/Message handed to a sink borrows engine-owned slab memory
+// (Vector.Values aliases the collector's scratch slice; Message.MGPV
+// and Message.FG point into the switch's recycled cell buffers), so a
+// sink must not retain it past the call without copying.
+//
+// The analyzer inspects every function — declaration or literal —
+// whose single parameter is one of the borrowed types (feature.Vector,
+// gpv.Message, *gpv.MGPV) and flags stores that let the borrowed value
+// escape the call:
+//
+//   - assignment into a field, dereference, index or package-level
+//     variable (including `*dst = append(*dst, v)`);
+//   - assignment into a variable captured from an enclosing function;
+//   - a channel send.
+//
+// Passing the value to an ordinary call is allowed: that is
+// synchronous use, the callee is subject to the same check if it is
+// itself a sink. Assigning to a function-local variable taints the
+// local, so escapes through renames are still caught.
+//
+// The canonical cleanse is recognized: after
+//
+//	v.Values = append([]float64(nil), v.Values...)
+//
+// the Values field no longer aliases the slab, and once every alias
+// field of the parameter has been cleansed the value itself may be
+// stored (the feature.Collect idiom). Pointer fields (Message.MGPV)
+// cannot be cleansed by append; a sink that genuinely hands borrowed
+// messages to a synchronous consumer uses //superfe:retain-ok <reason>
+// on (or immediately above) the flagged line.
+var SinkRetention = &analysis.Analyzer{
+	Name: "sinkretention",
+	Doc:  "forbid feature.Sink / message-sink implementations from retaining borrowed Vector/Message memory past the call without copying",
+	Run:  runSinkRetention,
+}
+
+func runSinkRetention(pass *analysis.Pass) error {
+	dirs := newDirectives(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				if p := borrowedParam(pass.TypesInfo, n.Type); p != nil {
+					checkSinkBody(pass, dirs, p, n.Body)
+				}
+			case *ast.FuncLit:
+				if p := borrowedParam(pass.TypesInfo, n.Type); p != nil {
+					checkSinkBody(pass, dirs, p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// borrowedParam returns the parameter object when the function type
+// has exactly one parameter of a borrowed slab-backed type.
+func borrowedParam(info *types.Info, ft *ast.FuncType) *types.Var {
+	if ft.Params == nil || len(ft.Params.List) != 1 || len(ft.Params.List[0].Names) != 1 {
+		return nil
+	}
+	name := ft.Params.List[0].Names[0]
+	v, ok := info.Defs[name].(*types.Var)
+	if !ok || !isBorrowedType(v.Type()) {
+		return nil
+	}
+	return v
+}
+
+// isBorrowedType reports whether t is one of the engine types whose
+// values alias slab memory when passed to a sink.
+func isBorrowedType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case name == "Vector" && hasPathSuffix(pkg, "feature"):
+		return true
+	case (name == "Message" || name == "MGPV") && hasPathSuffix(pkg, "gpv"):
+		return true
+	}
+	return false
+}
+
+func hasPathSuffix(path, pkg string) bool {
+	return path == pkg || len(path) > len(pkg)+1 && path[len(path)-len(pkg)-1] == '/' && path[len(path)-len(pkg):] == pkg
+}
+
+// sinkChecker tracks, within one sink body, which objects alias the
+// borrowed parameter and which alias fields have been cleansed.
+type sinkChecker struct {
+	pass     *analysis.Pass
+	dirs     *directives
+	tainted  map[types.Object]bool
+	cleansed map[types.Object]bool // field objects re-pointed at fresh memory
+	param    *types.Var
+	body     *ast.BlockStmt
+}
+
+func checkSinkBody(pass *analysis.Pass, dirs *directives, param *types.Var, body *ast.BlockStmt) {
+	c := &sinkChecker{
+		pass:     pass,
+		dirs:     dirs,
+		tainted:  map[types.Object]bool{param: true},
+		cleansed: map[types.Object]bool{},
+		param:    param,
+		body:     body,
+	}
+	ast.Inspect(body, c.inspect)
+}
+
+// localVar reports whether the variable is declared inside this sink's
+// own body — stores into it stay in the call. Variables captured from
+// an enclosing function outlive the call and count as escapes.
+func (c *sinkChecker) localVar(v *types.Var) bool {
+	return v.Pos() >= c.body.Pos() && v.Pos() <= c.body.End()
+}
+
+func (c *sinkChecker) report(n ast.Node, format string, args ...any) {
+	if c.dirs.at(n.Pos(), "retain-ok") {
+		return
+	}
+	c.pass.Reportf(n.Pos(), format, args...)
+}
+
+func (c *sinkChecker) inspect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.checkAssign(n)
+		return true
+	case *ast.SendStmt:
+		if c.borrowed(n.Value) {
+			c.report(n, "sends borrowed %s over a channel; the receiver outlives the call — copy first or annotate //superfe:retain-ok <reason>", c.describe(n.Value))
+		}
+	case *ast.FuncLit:
+		// Nested literals get their own top-level visit when they are
+		// sinks themselves; a non-sink literal capturing the borrowed
+		// value is only dangerous if it stores it, which the outer walk
+		// still sees.
+		return true
+	}
+	return true
+}
+
+func (c *sinkChecker) checkAssign(asg *ast.AssignStmt) {
+	// First: recognize the cleanse idiom v.F = append(<fresh>, v.F...).
+	for i, lhs := range asg.Lhs {
+		if i >= len(asg.Rhs) {
+			break
+		}
+		if fld := c.paramField(lhs); fld != nil && isFreshCopy(c.pass.TypesInfo, asg.Rhs[i], c.param) {
+			c.cleansed[fld] = true
+		}
+	}
+	// Then: flag borrowed values escaping through non-local stores.
+	for i, rhs := range asg.Rhs {
+		if i >= len(asg.Lhs) {
+			break
+		}
+		if !c.exprCarriesBorrowed(rhs) {
+			continue
+		}
+		lhs := asg.Lhs[i]
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			obj := c.pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = c.pass.TypesInfo.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && c.localVar(v) {
+				// Function-local variable: the rename is now tainted too.
+				c.tainted[v] = true
+				continue
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Parent() != nil && v.Parent().Parent() != types.Universe {
+				c.report(rhs, "stores borrowed %s into captured variable %s, which outlives the call — copy the slab-backed data first or annotate //superfe:retain-ok <reason>", c.describe(rhs), v.Name())
+				continue
+			}
+		}
+		c.report(rhs, "stores borrowed %s into %s, which outlives the call — copy the slab-backed data first (see feature.Collect) or annotate //superfe:retain-ok <reason>", c.describe(rhs), describeLHS(lhs))
+	}
+}
+
+// paramField returns the field object when the expression is a direct
+// field selection on the borrowed parameter (v.Values).
+func (c *sinkChecker) paramField(e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if rootObject(c.pass.TypesInfo, sel.X) != c.param {
+		return nil
+	}
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}
+
+// borrowed reports whether the expression still aliases slab memory:
+// a tainted object itself (with at least one uncleansed alias field),
+// or an uncleansed alias-field selection on a tainted object.
+func (c *sinkChecker) borrowed(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil || !c.tainted[obj] {
+			return false
+		}
+		return c.hasUncleansedAlias(obj.Type())
+	case *ast.SelectorExpr:
+		if rootObject(c.pass.TypesInfo, e.X) == nil {
+			return false
+		}
+		root := rootObject(c.pass.TypesInfo, e.X)
+		if !c.tainted[root] {
+			return false
+		}
+		s, ok := c.pass.TypesInfo.Selections[e]
+		if !ok || s.Kind() != types.FieldVal {
+			return false
+		}
+		if !aliasField(s.Obj()) {
+			return false
+		}
+		return !c.cleansed[s.Obj()]
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &v: the address of the parameter aliases everything.
+			return rootObject(c.pass.TypesInfo, e.X) != nil && c.tainted[rootObject(c.pass.TypesInfo, e.X)]
+		}
+	case *ast.IndexExpr, *ast.SliceExpr:
+		var x ast.Expr
+		if ie, ok := e.(*ast.IndexExpr); ok {
+			x = ie.X
+		} else {
+			x = e.(*ast.SliceExpr).X
+		}
+		return c.borrowed(x)
+	}
+	return false
+}
+
+// exprCarriesBorrowed reports whether any subexpression is borrowed —
+// catches append(dst, v), composite literals wrapping v, etc. Calls
+// other than append are NOT treated as carriers: an ordinary call
+// returns its own value and using the parameter as an argument is
+// sanctioned synchronous use.
+func (c *sinkChecker) exprCarriesBorrowed(e ast.Expr) bool {
+	if c.borrowed(e) {
+		return true
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if isBuiltinCall(c.pass.TypesInfo, e, "append") {
+			if len(e.Args) == 0 {
+				return false
+			}
+			// Growing a borrowed slice aliases it regardless of elements.
+			if c.exprCarriesBorrowed(e.Args[0]) {
+				return true
+			}
+			// Appended elements are copied by value; they retain only
+			// when the element type itself carries alias fields —
+			// append(dst, msg) keeps msg.MGPV alive, while
+			// append([]float64(nil), v.Values...) copies plain floats
+			// and is the canonical cleanse.
+			elemAliases := true
+			if st, ok := c.pass.TypesInfo.Types[e].Type.Underlying().(*types.Slice); ok {
+				elemAliases = typeAliases(st.Elem())
+			}
+			if !elemAliases {
+				return false
+			}
+			for _, a := range e.Args[1:] {
+				if c.exprCarriesBorrowed(a) {
+					return true
+				}
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if c.exprCarriesBorrowed(el) {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return c.exprCarriesBorrowed(e.X)
+	}
+	return false
+}
+
+// hasUncleansedAlias reports whether the type still has an alias field
+// that has not been re-pointed at fresh memory. Pointer-typed borrowed
+// values (e.g. *gpv.MGPV) always alias.
+func (c *sinkChecker) hasUncleansedAlias(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); ok {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return true
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if aliasField(f) && !c.cleansed[f] {
+			return true
+		}
+	}
+	return false
+}
+
+// aliasField reports whether a struct field can alias slab memory:
+// slices, pointers, maps.
+func aliasField(obj types.Object) bool {
+	switch obj.Type().Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map:
+		return true
+	}
+	return false
+}
+
+// typeAliases reports whether copying a value of type t by value can
+// still alias other memory: reference types do, and so do structs with
+// reference-typed fields (shallow copy shares the pointees).
+func typeAliases(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeAliases(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeAliases(u.Elem())
+	}
+	return false
+}
+
+// isFreshCopy recognizes RHS expressions that produce memory not
+// aliased to the parameter: append with a first argument rooted
+// anywhere but the parameter (append([]float64(nil), v.Values...)), or
+// any non-append call (conversions and constructors return fresh
+// values).
+func isFreshCopy(info *types.Info, e ast.Expr, param *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isBuiltinCall(info, call, "append") {
+		if len(call.Args) == 0 {
+			return false
+		}
+		return rootObject(info, call.Args[0]) != param
+	}
+	return true
+}
+
+func describeLHS(lhs ast.Expr) string {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.StarExpr:
+		return "a dereferenced pointer"
+	case *ast.SelectorExpr:
+		return "field " + lhs.Sel.Name
+	case *ast.IndexExpr:
+		return "an indexed element"
+	case *ast.Ident:
+		return "package variable " + lhs.Name
+	}
+	return "a location that outlives the call"
+}
+
+func (c *sinkChecker) describe(e ast.Expr) string {
+	if t := c.pass.TypesInfo.Types[ast.Unparen(e)].Type; t != nil {
+		return t.String()
+	}
+	return "value"
+}

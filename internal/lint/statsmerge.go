@@ -11,22 +11,31 @@ import (
 
 // StatsMerge catches the "added a counter, forgot to merge it" bug
 // class the parallel engine's per-shard stats merging is exposed to:
-// for any struct whose name ends in "Stats", every Merge, Add and
-// Reset method must reference every field of the struct. A method
-// that assigns the whole receiver (*s = Stats{} or *s = o) trivially
-// references all fields.
+// for any struct whose name ends in "Stats" or "Snapshot", every
+// merge-like method (Merge, Add, Reset) and every delta-like method
+// (DeltaFrom, Delta, Sub — the obs interval-snapshot pattern) must
+// reference every field of the struct. A method that assigns the
+// whole receiver (*s = Stats{} or *s = o) trivially references all
+// fields.
 //
-// The check is purely mechanical — it does not verify the merge
-// arithmetic — but it guarantees a new counter cannot be added
-// without the merge and reset paths being revisited.
+// The check is purely mechanical — it does not verify the merge or
+// delta arithmetic — but it guarantees a new counter cannot be added
+// without the merge, reset and delta paths being revisited.
 var StatsMerge = &analysis.Analyzer{
 	Name: "statsmerge",
-	Doc:  "require Merge/Add/Reset methods on *Stats structs to reference every field",
+	Doc:  "require Merge/Add/Reset and DeltaFrom/Delta/Sub methods on *Stats / *Snapshot structs to reference every field",
 	Run:  runStatsMerge,
 }
 
 // mergeLikeMethods are the method names that must cover every field.
-var mergeLikeMethods = map[string]bool{"Merge": true, "Add": true, "Reset": true}
+var mergeLikeMethods = map[string]bool{
+	"Merge": true, "Add": true, "Reset": true,
+	"DeltaFrom": true, "Delta": true, "Sub": true,
+}
+
+// statsSuffixes are the receiver-name suffixes that opt a struct into
+// the completeness check.
+var statsSuffixes = []string{"Stats", "Snapshot"}
 
 func runStatsMerge(pass *analysis.Pass) error {
 	info := pass.TypesInfo
@@ -52,7 +61,7 @@ func runStatsMerge(pass *analysis.Pass) error {
 }
 
 // recvStatsStruct resolves the method receiver when it is a named
-// struct type whose name ends in "Stats".
+// struct type whose name ends in one of statsSuffixes.
 func recvStatsStruct(info *types.Info, fd *ast.FuncDecl) (*types.Named, *types.Struct) {
 	if len(fd.Recv.List) != 1 {
 		return nil, nil
@@ -65,7 +74,7 @@ func recvStatsStruct(info *types.Info, fd *ast.FuncDecl) (*types.Named, *types.S
 		t = p.Elem()
 	}
 	named, ok := t.(*types.Named)
-	if !ok || !strings.HasSuffix(named.Obj().Name(), "Stats") {
+	if !ok || !hasStatsSuffix(named.Obj().Name()) {
 		return nil, nil
 	}
 	st, ok := named.Underlying().(*types.Struct)
@@ -118,6 +127,15 @@ func missingFields(info *types.Info, fd *ast.FuncDecl, st *types.Struct) []strin
 	}
 	sort.Strings(out)
 	return out
+}
+
+func hasStatsSuffix(name string) bool {
+	for _, s := range statsSuffixes {
+		if strings.HasSuffix(name, s) {
+			return true
+		}
+	}
+	return false
 }
 
 func plural(s []string) string {

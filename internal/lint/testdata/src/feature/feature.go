@@ -1,0 +1,96 @@
+// Package feature is the analysistest fixture for the sinkretention
+// analyzer. The package is deliberately named feature so the fixture's
+// Vector matches the analyzer's borrowed-type set the same way the
+// real superfe/internal/feature.Vector does.
+package feature
+
+// Vector mirrors the real feature.Vector: Values borrows slab memory.
+type Vector struct {
+	Key       uint64
+	Timestamp int64
+	Values    []float64
+}
+
+// Sink mirrors the real contract.
+type Sink func(Vector)
+
+var global []Vector
+
+var rawValues [][]float64
+
+// Collect is the canonical correct sink: cleanse Values, then store.
+func Collect(dst *[]Vector) Sink {
+	return func(v Vector) {
+		v.Values = append([]float64(nil), v.Values...)
+		*dst = append(*dst, v)
+	}
+}
+
+// CollectScores copies scalars out of the borrowed vector: fine.
+func CollectScores(dst *[]float64) Sink {
+	return func(v Vector) {
+		*dst = append(*dst, v.Values[0])
+	}
+}
+
+// CollectCopies appends freshly copied floats into a captured slice:
+// fine, float64 elements are copied by value.
+func CollectCopies(dst *[][]float64) Sink {
+	return func(v Vector) {
+		*dst = append(*dst, append([]float64(nil), v.Values...))
+	}
+}
+
+// Leak stores the borrowed vector without cleansing.
+func Leak() Sink {
+	return func(v Vector) {
+		global = append(global, v) // want `stores borrowed .*Vector`
+	}
+}
+
+// LeakValues retains the slab-backed slice itself.
+func LeakValues() Sink {
+	return func(v Vector) {
+		rawValues = append(rawValues, v.Values) // want `stores borrowed .* into package variable rawValues`
+	}
+}
+
+// LeakRename escapes through a local rename.
+func LeakRename(dst *[]Vector) Sink {
+	return func(v Vector) {
+		keep := v
+		*dst = append(*dst, keep) // want `stores borrowed .*Vector`
+	}
+}
+
+// LeakCapture stores into a variable captured from the enclosing
+// function.
+func LeakCapture() (Sink, func() Vector) {
+	var last Vector
+	sink := func(v Vector) {
+		last = v // want `stores borrowed .*Vector into captured variable last`
+	}
+	return sink, func() Vector { return last }
+}
+
+// LeakSend hands the borrowed vector to a goroutine.
+func LeakSend(ch chan Vector) Sink {
+	return func(v Vector) {
+		ch <- v // want `sends borrowed .*Vector over a channel`
+	}
+}
+
+// Waived documents why the retention is safe.
+func Waived(ch chan Vector) Sink {
+	return func(v Vector) {
+		//superfe:retain-ok fixture: receiver copies before the next emit
+		ch <- v
+	}
+}
+
+// Inspect uses the vector synchronously: calls are sanctioned.
+func Inspect(f func(Vector) float64) Sink {
+	return func(v Vector) {
+		_ = f(v)
+	}
+}

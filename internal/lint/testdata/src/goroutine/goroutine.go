@@ -1,0 +1,80 @@
+// Package goroutine is the analysistest fixture for the goroutineleak
+// analyzer: spawned loops must show a shutdown edge.
+package goroutine
+
+import (
+	"context"
+	"sync"
+)
+
+// Pump has every accepted shutdown edge plus the violations.
+type Pump struct {
+	wg sync.WaitGroup
+	in chan int
+}
+
+// Start spawns workers with provable termination.
+func (p *Pump) Start(ctx context.Context) {
+	// WaitGroup edge.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for v := range p.in {
+			_ = v
+		}
+	}()
+
+	// Closed-channel edge: close(p.in) exists in Stop.
+	go p.drain()
+
+	// Context edge.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-p.in:
+				_ = v
+			}
+		}
+	}()
+
+	// No loop at all: terminates by construction.
+	go func() {
+		_ = len("once")
+	}()
+
+	go spin() // want `goroutine has no provable shutdown edge`
+
+	go func() { // want `goroutine has no provable shutdown edge`
+		for {
+			_ = ctx
+		}
+	}()
+
+	//superfe:goroutine-ok fixture: process-lifetime by design
+	go spin()
+
+	var dyn func()
+	dyn = spin
+	go dyn() // want `goroutine has no provable shutdown edge`
+}
+
+// drain ranges over a channel the module provably closes.
+func (p *Pump) drain() {
+	for v := range p.in {
+		_ = v
+	}
+}
+
+// Stop closes the channel the drain loops range over.
+func (p *Pump) Stop() {
+	close(p.in)
+	p.wg.Wait()
+}
+
+// spin loops forever with no shutdown edge.
+func spin() {
+	for {
+	}
+}

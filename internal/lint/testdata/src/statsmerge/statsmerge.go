@@ -45,3 +45,35 @@ type Tracker struct {
 
 // Merge intentionally partial: the analyzer only polices *Stats.
 func (n *Tracker) Merge(o Tracker) { n.X += o.X }
+
+// IntervalSnapshot mirrors the obs interval-snapshot pattern: the
+// delta methods must cover every field, same as merge methods.
+type IntervalSnapshot struct {
+	Clock uint64
+	Vals  []uint64
+	Drops uint64
+}
+
+// DeltaFrom forgets the Drops counter.
+func (s *IntervalSnapshot) DeltaFrom(prev *IntervalSnapshot) IntervalSnapshot { // want `IntervalSnapshot\.DeltaFrom does not reference field Drops`
+	out := IntervalSnapshot{}
+	out.Clock = s.Clock - prev.Clock
+	for i := range s.Vals {
+		out.Vals = append(out.Vals, s.Vals[i]-prev.Vals[i])
+	}
+	return out
+}
+
+// GoodSnapshot covers every field in its delta.
+type GoodSnapshot struct {
+	Clock uint64
+	Drops uint64
+}
+
+// Sub covers every field.
+func (s *GoodSnapshot) Sub(prev *GoodSnapshot) GoodSnapshot {
+	var out GoodSnapshot
+	out.Clock = s.Clock - prev.Clock
+	out.Drops = s.Drops - prev.Drops
+	return out
+}

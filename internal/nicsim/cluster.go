@@ -62,12 +62,14 @@ func NewCluster(cfg Config, plan *policy.Plan, n int, sink feature.Sink) (*Clust
 func (c *Cluster) Process(m gpv.Message) {
 	if m.FG != nil {
 		for _, ch := range c.chans {
+			//superfe:retain-ok cluster callers run switchsim in copy mode (ZeroCopy unset), so every Message owns its MGPV/FG; pairing a cluster with a ZeroCopy switch is unsupported
 			ch <- m
 		}
 		return
 	}
 	if m.MGPV != nil {
 		idx := int(m.MGPV.Hash % uint32(len(c.chans)))
+		//superfe:retain-ok cluster callers run switchsim in copy mode (ZeroCopy unset), so every Message owns its MGPV/FG; pairing a cluster with a ZeroCopy switch is unsupported
 		c.chans[idx] <- m
 	}
 }

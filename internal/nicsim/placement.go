@@ -24,12 +24,18 @@ type Placement struct {
 	ILPNodes int
 }
 
-// handleBytes is the inline footprint of an indirect state.
-const handleBytes = 8
+// HandleBytes is the inline footprint of an indirect state: the
+// group-table entry stores an 8-byte handle to the bulk storage.
+const HandleBytes = 8
 
-// keyBytes is the group key occupying the front of every table entry
+// KeyBytes is the group key occupying the front of every table entry
 // (the paper's example: "a 4-byte IP address and its states").
-const keyBytes = 4
+const KeyBytes = 4
+
+// EMEMPerGroupBudget is the per-group byte budget the placement ILP
+// grants EMEM: DRAM-backed, effectively unbounded next to the on-chip
+// levels, but finite so degenerate states are still rejected.
+const EMEMPerGroupBudget = 1 << 20
 
 // Place solves the placement ILP for the plan's states, following
 // the §6.2 formulation with one adaptation: Eq. 5's hard data-bus
@@ -67,9 +73,9 @@ func Place(cfg Config, specs []policy.StateSpec) (Placement, error) {
 		perGroup := capBytes / entries
 		if MemLevel(m) == MemEMEM {
 			// DRAM-backed: effectively unbounded per-group budget.
-			perGroup = 1 << 20
+			perGroup = EMEMPerGroupBudget
 		}
-		prob.Cap[m] = perGroup - keyBytes
+		prob.Cap[m] = perGroup - KeyBytes
 		if prob.Cap[m] < 0 {
 			prob.Cap[m] = 0
 		}
@@ -77,7 +83,7 @@ func Place(cfg Config, specs []policy.StateSpec) (Placement, error) {
 	for i, s := range specs {
 		prob.Cost[i] = make([]float64, NumMemLevels)
 		size := s.Bytes
-		if size > beat-keyBytes {
+		if size > beat-KeyBytes {
 			indirect[i] = true
 		}
 		prob.Size[i] = size
@@ -114,7 +120,7 @@ func PlaceAllEMEM(cfg Config, specs []policy.StateSpec) Placement {
 		Level:    make([]MemLevel, n),
 		Indirect: make([]bool, n),
 	}
-	budget := cfg.BusBytes/cfg.TableWidth - keyBytes
+	budget := cfg.BusBytes/cfg.TableWidth - KeyBytes
 	for i, s := range specs {
 		p.Level[i] = MemEMEM
 		lat := float64(cfg.Memories[MemEMEM].LatencyCyc)
@@ -135,6 +141,14 @@ func PlaceAllEMEM(cfg Config, specs []policy.StateSpec) Placement {
 type MemoryUsage struct {
 	PerLevel [NumMemLevels]float64 // fraction of each level
 	Overall  float64               // used bytes / total bytes
+	// Overflow records that at least one level's raw full-table
+	// charge exceeded its on-card capacity before the fraction was
+	// clamped to 1. This is spill, not infeasibility: the excess
+	// entries live in host-DRAM overflow chains (see the groups cap
+	// below), and every shipped policy spills its EMEM-resident
+	// state this way. Placement infeasibility is signalled by Place
+	// returning an error.
+	Overflow bool
 }
 
 // EstimateMemory computes utilization for a placement with the given
@@ -155,7 +169,7 @@ func EstimateMemory(cfg Config, specs []policy.StateSpec, pl Placement, groups i
 	}
 	for m := 0; m < int(NumMemLevels); m++ {
 		if entryState[m] > 0 {
-			usedBytes[m] = entries * (keyBytes + entryState[m])
+			usedBytes[m] = entries * (KeyBytes + entryState[m])
 		}
 	}
 	var u MemoryUsage
@@ -168,6 +182,7 @@ func EstimateMemory(cfg Config, specs []policy.StateSpec, pl Placement, groups i
 		f := float64(usedBytes[m]) / float64(capBytes)
 		if f > 1 {
 			f = 1
+			u.Overflow = true
 		}
 		u.PerLevel[m] = f
 		total += capBytes

@@ -86,6 +86,8 @@ var (
 // registered in a fixed order — all shards therefore share one
 // schema, which is what lets MergeSnapshots line their flat value
 // arrays up. Returns nil when o.Enabled is false.
+//
+//superfe:coldpath
 func NewPipeline(o Options) *Pipeline {
 	if !o.Enabled {
 		return nil

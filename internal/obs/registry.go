@@ -94,6 +94,7 @@ func (r *Registry) register(name, help string, kind Kind, edges []int64, labels 
 	def := SeriesDef{Name: name, Help: help, Kind: kind, Labels: labels, Slot: len(r.vals), Edges: edges}
 	r.defs = append(r.defs, def)
 	for i := 0; i < def.slots(); i++ {
+		//superfe:atomic-ok registration is single-threaded and precedes publication; Seal() panics on mid-run registration so the array never grows under concurrent handles
 		r.vals = append(r.vals, 0)
 	}
 	return def.Slot

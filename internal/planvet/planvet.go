@@ -1,0 +1,253 @@
+// Package planvet statically verifies that a compiled policy.Plan
+// fits the switch/NIC hardware envelope before anything is simulated
+// or deployed — the static counterpart of the switchsim/nicsim cost
+// models, in the spirit of checking emitted programs against an
+// explicit hardware model rather than discovering overflow at run
+// time.
+//
+// The resource model is the one the simulators price (and the paper's
+// Table 4 reports): a Tofino 1 match-action pipeline on the switch
+// side (stage count, logical tables, stateful ALUs, SRAM) and an
+// NFP-4000 SmartNIC on the NIC side (512-bit data bus, group-table
+// entry geometry, per-group memory budgets, DMA burst width). A plan
+// the checker accepts is guaranteed not to trip the simulators'
+// resource-overflow clamps — planvet shares switchsim.EstimateCounts
+// and the nicsim placement constants, and the differential test in
+// planvet_test.go holds the two accountable to each other.
+//
+// Checks, each named by the resource it guards:
+//
+//	switch-tables      logical match-action tables vs the 12×16 array
+//	switch-salus       stateful ALUs vs the 12×4 array
+//	switch-sram        SRAM bits vs the 120 Mb device
+//	switch-stages      stage packing of the table/sALU demand
+//	mgpv-cell          batched metadata fields vs the MGPV wire cell
+//	                   (u8 value count, 32-bit value registers)
+//	gran-chain         granularity chain must run coarse→fine and be
+//	                   bracketed by CG/FG (§5.1 dependency chain)
+//	nic-bus            one state must be fetchable in one DMA burst
+//	                   of the 512-bit bus (8 beats)
+//	nic-state-budget   one state must fit the EMEM per-group budget,
+//	                   or the placement ILP has no feasible column
+//	nic-placement      the §6.2 placement ILP must be solvable
+package planvet
+
+import (
+	"fmt"
+	"strings"
+
+	"superfe/internal/nicsim"
+	"superfe/internal/policy"
+	"superfe/internal/switchsim"
+)
+
+// MaxBurstBeats is the number of consecutive 512-bit bus beats one
+// group-table DMA burst may occupy. A single state wider than one
+// burst cannot be fetched atomically per packet; CUMUL's 512-byte
+// dirsize buffer is exactly one burst on the default 64-byte bus.
+const MaxBurstBeats = 8
+
+// MaxCellValues is the MGPV wire format's per-cell value count: the
+// cell header carries the count in a u8 (see gpv wire layout), and
+// each value is one 32-bit switch register.
+const MaxCellValues = 255
+
+// Model is the hardware envelope plans are checked against: the same
+// configurations the simulators run, plus the Tofino constants
+// exported by switchsim.
+type Model struct {
+	Switch switchsim.Config
+	NIC    nicsim.Config
+}
+
+// DefaultModel is the envelope of the paper's testbed: one Tofino 1
+// (32Q) and one NFP-4000.
+func DefaultModel() Model {
+	return Model{Switch: switchsim.DefaultConfig(), NIC: nicsim.DefaultConfig()}
+}
+
+// Finding is one violated resource, with a diagnostic naming the
+// resource and the violating quantity.
+type Finding struct {
+	Plan     string // plan name
+	Resource string // check identifier, e.g. "switch-salus"
+	Detail   string // human diagnostic with the numbers
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Plan, f.Resource, f.Detail)
+}
+
+// Report is the per-plan cost report: raw demands, device fractions,
+// and any findings. A plan is feasible iff Findings is empty.
+type Report struct {
+	Name string
+
+	// Switch side.
+	Tables   int     // logical match-action tables demanded
+	SALUs    int     // stateful ALUs demanded
+	SRAMBits int     // SRAM bits demanded
+	Stages   int     // pipeline stages needed by the packing
+	CellB    int     // MGPV cell bytes (batched fields + index)
+	TablesF  float64 // fractions of the device
+	SALUsF   float64
+	SRAMF    float64
+
+	// NIC side.
+	NICStates  int     // states placed by the ILP
+	NICCostPkt float64 // placement objective: cycles per packet
+	NICWorstB  int     // widest single state in bytes
+
+	Findings []Finding
+}
+
+// Feasible reports whether every check passed.
+func (r *Report) Feasible() bool { return len(r.Findings) == 0 }
+
+func (r *Report) addf(resource, format string, args ...any) {
+	r.Findings = append(r.Findings, Finding{
+		Plan:     r.Name,
+		Resource: resource,
+		Detail:   fmt.Sprintf(format, args...),
+	})
+}
+
+// String renders the cost report in the superfe-vet -plans format.
+func (r *Report) String() string {
+	var b strings.Builder
+	verdict := "OK"
+	if !r.Feasible() {
+		verdict = fmt.Sprintf("INFEASIBLE (%d)", len(r.Findings))
+	}
+	fmt.Fprintf(&b, "plan %-10s %s\n", r.Name, verdict)
+	fmt.Fprintf(&b, "  switch: tables %3d/%d (%.0f%%)  salus %2d/%d (%.0f%%)  sram %.1f/%.0f Mb (%.0f%%)  stages %d/%d\n",
+		r.Tables, switchsim.TofinoTablesTotal, 100*r.TablesF,
+		r.SALUs, switchsim.TofinoSALUsTotal, 100*r.SALUsF,
+		float64(r.SRAMBits)/(1<<20), float64(switchsim.TofinoSRAMBits)/(1<<20), 100*r.SRAMF,
+		r.Stages, switchsim.TofinoStages)
+	fmt.Fprintf(&b, "  mgpv  : cell %d B\n", r.CellB)
+	fmt.Fprintf(&b, "  nic   : states %d  widest %d B  placement %.0f cyc/pkt\n",
+		r.NICStates, r.NICWorstB, r.NICCostPkt)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  FAIL %s: %s\n", f.Resource, f.Detail)
+	}
+	return b.String()
+}
+
+// Check verifies one compiled plan against the model and returns the
+// cost report.
+func Check(m Model, name string, plan *policy.Plan) *Report {
+	r := &Report{Name: name}
+	checkSwitch(m, r, plan.Switch)
+	checkChain(r, plan.Switch)
+	checkNIC(m, r, plan.NIC)
+	return r
+}
+
+// CheckPolicy compiles the policy and checks the resulting plan.
+func CheckPolicy(m Model, name string, pol *policy.Policy) (*Report, error) {
+	plan, err := policy.Compile(pol)
+	if err != nil {
+		return nil, fmt.Errorf("planvet: compile %s: %w", name, err)
+	}
+	return Check(m, name, plan), nil
+}
+
+// checkSwitch applies the Tofino pipeline checks.
+func checkSwitch(m Model, r *Report, sp policy.SwitchPlan) {
+	tables, salus, sramBits := switchsim.EstimateCounts(m.Switch, sp)
+	r.Tables, r.SALUs, r.SRAMBits = tables, salus, sramBits
+	r.TablesF = float64(tables) / float64(switchsim.TofinoTablesTotal)
+	r.SALUsF = float64(salus) / float64(switchsim.TofinoSALUsTotal)
+	r.SRAMF = float64(sramBits) / float64(switchsim.TofinoSRAMBits)
+	r.CellB = sp.CellBytes()
+	r.Stages = stagesNeeded(tables, salus)
+
+	if tables > switchsim.TofinoTablesTotal {
+		r.addf("switch-tables", "plan demands %d logical tables; the Tofino pipeline has %d (%d stages × %d)",
+			tables, switchsim.TofinoTablesTotal, switchsim.TofinoStages, switchsim.TofinoTablesPerStg)
+	}
+	if salus > switchsim.TofinoSALUsTotal {
+		r.addf("switch-salus", "plan demands %d stateful ALUs; the Tofino pipeline has %d (%d stages × %d)",
+			salus, switchsim.TofinoSALUsTotal, switchsim.TofinoStages, switchsim.TofinoSALUsPerStg)
+	}
+	if sramBits > switchsim.TofinoSRAMBits {
+		r.addf("switch-sram", "plan demands %.1f Mb of SRAM; the device has %.0f Mb",
+			float64(sramBits)/(1<<20), float64(switchsim.TofinoSRAMBits)/(1<<20))
+	}
+	if r.Stages > switchsim.TofinoStages {
+		r.addf("switch-stages", "table/sALU demand packs into %d match-action stages; the pipeline has %d",
+			r.Stages, switchsim.TofinoStages)
+	}
+	if n := len(sp.MetadataFields); n > MaxCellValues {
+		r.addf("mgpv-cell", "plan batches %d metadata fields per cell; the MGPV wire cell carries at most %d 32-bit values (u8 count)",
+			n, MaxCellValues)
+	}
+}
+
+// stagesNeeded is the stage packing of the table and sALU demand:
+// each stage offers TofinoTablesPerStg tables and TofinoSALUsPerStg
+// stateful ALUs, and the scarcer resource dictates the depth.
+func stagesNeeded(tables, salus int) int {
+	byTables := (tables + switchsim.TofinoTablesPerStg - 1) / switchsim.TofinoTablesPerStg
+	bySALUs := (salus + switchsim.TofinoSALUsPerStg - 1) / switchsim.TofinoSALUsPerStg
+	if byTables > bySALUs {
+		return byTables
+	}
+	return bySALUs
+}
+
+// checkChain verifies the §5.1 granularity dependency chain: bracketed
+// by CG and FG and strictly coarse→fine (a finer level must never
+// precede a coarser one, or MGPV's key-projection install order
+// breaks).
+func checkChain(r *Report, sp policy.SwitchPlan) {
+	chain := sp.Chain
+	if len(chain) == 0 {
+		r.addf("gran-chain", "plan has an empty granularity chain")
+		return
+	}
+	if chain[0] != sp.CG {
+		r.addf("gran-chain", "chain starts at %v but CG is %v; the chain must begin at the coarsest granularity", chain[0], sp.CG)
+	}
+	if chain[len(chain)-1] != sp.FG {
+		r.addf("gran-chain", "chain ends at %v but FG is %v; the chain must end at the finest granularity", chain[len(chain)-1], sp.FG)
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if chain[i+1].Coarser(chain[i]) {
+			r.addf("gran-chain", "chain runs %v before %v; granularities must be ordered coarse→fine (flowkey.ChainSort order)", chain[i], chain[i+1])
+		}
+	}
+}
+
+// checkNIC applies the NFP group-table checks and solves the
+// placement ILP.
+func checkNIC(m Model, r *Report, np policy.NICPlan) {
+	r.NICStates = len(np.StateSpecs)
+	burst := MaxBurstBeats * m.NIC.BusBytes
+	budget := nicsim.EMEMPerGroupBudget - nicsim.KeyBytes
+	placeable := true
+	for _, s := range np.StateSpecs {
+		if s.Bytes > r.NICWorstB {
+			r.NICWorstB = s.Bytes
+		}
+		if s.Bytes > burst {
+			r.addf("nic-bus", "state %s is %d B; one DMA burst of the %d-bit bus moves at most %d B (%d beats)",
+				s.Name, s.Bytes, 8*m.NIC.BusBytes, burst, MaxBurstBeats)
+		}
+		if s.Bytes > budget {
+			placeable = false
+			r.addf("nic-state-budget", "state %s is %d B; the EMEM per-group budget is %d B, so the placement ILP has no feasible level",
+				s.Name, s.Bytes, budget)
+		}
+	}
+	if !placeable {
+		return // the ILP would only restate the budget finding
+	}
+	pl, err := nicsim.Place(m.NIC, np.StateSpecs)
+	if err != nil {
+		r.addf("nic-placement", "placement ILP: %v", err)
+		return
+	}
+	r.NICCostPkt = pl.CostPerPkt
+}

@@ -1,0 +1,215 @@
+package planvet
+
+import (
+	"strings"
+	"testing"
+
+	"superfe/internal/apps"
+	"superfe/internal/flowkey"
+	"superfe/internal/nicsim"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/switchsim"
+)
+
+// TestCatalogFeasible: every shipped Table 3 policy must pass the
+// static checks — the paper deployed all of them on the testbed.
+func TestCatalogFeasible(t *testing.T) {
+	m := DefaultModel()
+	for _, e := range apps.Catalog() {
+		r, err := CheckPolicy(m, e.Name, e.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if !r.Feasible() {
+			t.Errorf("%s rejected:\n%s", e.Name, r)
+		}
+		if r.Tables <= 0 || r.SALUs <= 0 || r.SRAMBits <= 0 || r.Stages <= 0 {
+			t.Errorf("%s: empty cost report: %+v", e.Name, r)
+		}
+		if r.NICStates > 0 && r.NICCostPkt <= 0 {
+			t.Errorf("%s: placement succeeded but cost %v", e.Name, r.NICCostPkt)
+		}
+	}
+}
+
+// basePlan compiles a known-good shipped policy to mutate into the
+// seeded infeasible variants.
+func basePlan(t *testing.T) *policy.Plan {
+	t.Helper()
+	plan, err := policy.Compile(apps.Kitsune())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// findingFor reports whether the report names the resource, and
+// checks the diagnostic carries the plan name.
+func findingFor(t *testing.T, r *Report, resource string) bool {
+	t.Helper()
+	for _, f := range r.Findings {
+		if f.Resource == resource {
+			if !strings.Contains(f.String(), r.Name) {
+				t.Errorf("finding does not name the plan: %s", f)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// TestSeededInfeasiblePlans: each seed violates one resource axis and
+// the rejection must name that resource.
+func TestSeededInfeasiblePlans(t *testing.T) {
+	m := DefaultModel()
+
+	t.Run("salus-overflow", func(t *testing.T) {
+		// 40 batched metadata words blow the stateful-ALU array
+		// (register arrays scale with words × short-buffer cells) while
+		// tables and SRAM still fit.
+		plan := basePlan(t)
+		plan.Switch.MetadataFields = make([]packet.FieldName, 40)
+		r := Check(m, "seed-salus", plan)
+		if r.Feasible() || !findingFor(t, r, "switch-salus") {
+			t.Errorf("40-field plan not rejected for switch-salus:\n%s", r)
+		}
+		if findingFor(t, r, "switch-tables") || findingFor(t, r, "switch-sram") {
+			t.Errorf("seed should overflow only the sALU axis (and its stage packing):\n%s", r)
+		}
+	})
+
+	t.Run("tables-sram-cell-overflow", func(t *testing.T) {
+		// 400 batched words exceed the table array, the SRAM device and
+		// the MGPV cell's u8 value count at once.
+		plan := basePlan(t)
+		plan.Switch.MetadataFields = make([]packet.FieldName, 400)
+		r := Check(m, "seed-wide", plan)
+		for _, res := range []string{"switch-tables", "switch-sram", "mgpv-cell", "switch-stages"} {
+			if !findingFor(t, r, res) {
+				t.Errorf("400-field plan missing %s finding:\n%s", res, r)
+			}
+		}
+	})
+
+	t.Run("chain-not-monotone", func(t *testing.T) {
+		// A fine→coarse chain (socket before host) breaks the §5.1
+		// install order. Compile always ChainSorts, so the seed has to
+		// corrupt the compiled plan directly.
+		plan := basePlan(t)
+		plan.Switch.CG = flowkey.GranSocket
+		plan.Switch.FG = flowkey.GranHost
+		plan.Switch.Chain = []flowkey.Granularity{flowkey.GranSocket, flowkey.GranHost}
+		r := Check(m, "seed-chain", plan)
+		if r.Feasible() || !findingFor(t, r, "gran-chain") {
+			t.Errorf("reversed chain not rejected for gran-chain:\n%s", r)
+		}
+	})
+
+	t.Run("nic-bus-width", func(t *testing.T) {
+		// A 1 KiB state is wider than one 8-beat burst of the 512-bit
+		// bus but well inside the EMEM budget: only nic-bus may fire.
+		plan := basePlan(t)
+		plan.NIC.StateSpecs = append([]policy.StateSpec(nil), plan.NIC.StateSpecs...)
+		plan.NIC.StateSpecs[0].Bytes = 1024
+		r := Check(m, "seed-bus", plan)
+		if r.Feasible() || !findingFor(t, r, "nic-bus") {
+			t.Errorf("1KiB state not rejected for nic-bus:\n%s", r)
+		}
+		if findingFor(t, r, "nic-state-budget") {
+			t.Errorf("1KiB state should fit the EMEM budget:\n%s", r)
+		}
+	})
+
+	t.Run("nic-state-budget", func(t *testing.T) {
+		// A 2 MiB state exceeds the EMEM per-group budget: no placement
+		// level can hold it.
+		plan := basePlan(t)
+		plan.NIC.StateSpecs = append([]policy.StateSpec(nil), plan.NIC.StateSpecs...)
+		plan.NIC.StateSpecs[0].Bytes = 2 << 20
+		r := Check(m, "seed-budget", plan)
+		if r.Feasible() || !findingFor(t, r, "nic-state-budget") {
+			t.Errorf("2MiB state not rejected for nic-state-budget:\n%s", r)
+		}
+	})
+}
+
+// TestDifferentialNoOverflow is the soundness contract: any plan
+// planvet accepts must run through both simulators without tripping a
+// resource-overflow clamp or failing placement. The seeded infeasible
+// plans check the other direction — when the simulators would clamp,
+// planvet must have said so.
+func TestDifferentialNoOverflow(t *testing.T) {
+	m := DefaultModel()
+	check := func(t *testing.T, name string, plan *policy.Plan) {
+		r := Check(m, name, plan)
+		res := switchsim.EstimateResources(m.Switch, plan.Switch)
+		pl, placeErr := nicsim.Place(m.NIC, plan.NIC.StateSpecs)
+		if r.Feasible() {
+			if res.Overflow {
+				t.Errorf("%s: planvet accepted but switchsim clamped: %+v", name, res)
+			}
+			if placeErr != nil {
+				t.Errorf("%s: planvet accepted but placement failed: %v", name, placeErr)
+			} else {
+				// MemoryUsage.Overflow is DRAM-chain spill, not
+				// infeasibility, so the contract on accepted plans is
+				// only that the usage report is well-formed.
+				mem := nicsim.EstimateMemory(m.NIC, plan.NIC.StateSpecs, pl, m.Switch.NumShort)
+				for lvl, f := range mem.PerLevel {
+					if f < 0 || f > 1 {
+						t.Errorf("%s: level %d fraction %v out of range", name, lvl, f)
+					}
+				}
+			}
+			return
+		}
+		// Rejected plans whose findings are simulator-visible must
+		// actually trip the simulators.
+		for _, f := range r.Findings {
+			switch f.Resource {
+			case "switch-tables", "switch-salus", "switch-sram":
+				if !res.Overflow {
+					t.Errorf("%s: planvet reported %s but switchsim did not clamp", name, f.Resource)
+				}
+			case "nic-state-budget":
+				if placeErr == nil {
+					t.Errorf("%s: planvet reported %s but placement succeeded", name, f.Resource)
+				}
+			}
+		}
+	}
+
+	for _, e := range apps.Catalog() {
+		plan, err := policy.Compile(e.Build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, e.Name, plan)
+	}
+	// The overflow seeds from TestSeededInfeasiblePlans, re-checked
+	// against the simulators.
+	wide := basePlan(t)
+	wide.Switch.MetadataFields = make([]packet.FieldName, 400)
+	check(t, "seed-wide", wide)
+	big := basePlan(t)
+	big.NIC.StateSpecs = append([]policy.StateSpec(nil), big.NIC.StateSpecs...)
+	big.NIC.StateSpecs[0].Bytes = 2 << 20
+	check(t, "seed-budget", big)
+}
+
+// TestReportString pins the cost-report rendering the -plans mode
+// prints.
+func TestReportString(t *testing.T) {
+	m := DefaultModel()
+	r, err := CheckPolicy(m, "CUMUL", apps.CUMUL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"plan CUMUL", "OK", "switch:", "nic   :", "stages"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

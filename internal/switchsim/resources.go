@@ -4,18 +4,18 @@ import (
 	"superfe/internal/policy"
 )
 
-// Tofino resource envelope used by the utilization model. The
-// figures approximate a Tofino 1 (32Q): 12 match-action stages, 16
-// logical tables and 4 stateful ALUs per stage, 120 Mb of SRAM.
-// Table 4 of the paper reports utilization relative to such an
-// envelope.
+// Tofino resource envelope used by the utilization model and by the
+// planvet static feasibility checks. The figures approximate a
+// Tofino 1 (32Q): 12 match-action stages, 16 logical tables and 4
+// stateful ALUs per stage, 120 Mb of SRAM. Table 4 of the paper
+// reports utilization relative to such an envelope.
 const (
-	tofinoStages       = 12
-	tofinoTablesPerStg = 16
-	tofinoSALUsPerStg  = 4
-	tofinoSRAMBits     = 120 * 1024 * 1024
-	tofinoTablesTotal  = tofinoStages * tofinoTablesPerStg // 192
-	tofinoSALUsTotal   = tofinoStages * tofinoSALUsPerStg  // 48
+	TofinoStages       = 12
+	TofinoTablesPerStg = 16
+	TofinoSALUsPerStg  = 4
+	TofinoSRAMBits     = 120 * 1024 * 1024
+	TofinoTablesTotal  = TofinoStages * TofinoTablesPerStg // 192
+	TofinoSALUsTotal   = TofinoStages * TofinoSALUsPerStg  // 48
 )
 
 // Resources reports the switch-side hardware utilization of a
@@ -25,21 +25,30 @@ type Resources struct {
 	Tables float64 // fraction of logical match-action tables
 	SALUs  float64 // fraction of stateful ALUs
 	SRAM   float64 // fraction of SRAM bits
+	// Overflow records that at least one raw estimate exceeded the
+	// device before the fractions were clamped to [0,1] — the plan
+	// does not fit and the simulator is modeling a program the
+	// hardware would reject.
+	Overflow bool
 }
 
-// EstimateResources models the P4 program the policy engine would
-// generate for the plan on a Tofino. The model is structural —
-// charges grow with the plan's batched metadata words, short-buffer
-// depth and granularity-chain length, on top of the fixed MGPV cache
-// machinery (parser, hash units, stack resubmit path, aging
-// recirculation) — with the fixed-cost coefficients calibrated
-// against the paper's own Table 4 measurements (tables 26-32%, sALUs
-// 69-77%, SRAM 16.5-18.8% across TF/N-BaIoT/NPOD/Kitsune).
-// Calibrating the intercepts to the published utilization keeps this
-// estimator, and every experiment built on it, consistent with the
-// prototype the paper profiled; the structure (what scales with
-// what) is the model's contribution.
-func EstimateResources(cfg Config, plan policy.SwitchPlan) Resources {
+// EstimateCounts returns the raw resource demands of the P4 program
+// the policy engine would generate for the plan — logical tables,
+// stateful ALUs and SRAM bits, before any normalization against the
+// device envelope. planvet compares these against the Tofino*
+// constants; EstimateResources divides by them.
+//
+// The model is structural — charges grow with the plan's batched
+// metadata words, short-buffer depth and granularity-chain length, on
+// top of the fixed MGPV cache machinery (parser, hash units, stack
+// resubmit path, aging recirculation) — with the fixed-cost
+// coefficients calibrated against the paper's own Table 4
+// measurements (tables 26-32%, sALUs 69-77%, SRAM 16.5-18.8% across
+// TF/N-BaIoT/NPOD/Kitsune). Calibrating the intercepts to the
+// published utilization keeps this estimator, and every experiment
+// built on it, consistent with the prototype the paper profiled; the
+// structure (what scales with what) is the model's contribution.
+func EstimateCounts(cfg Config, plan policy.SwitchPlan) (tables, salus, sramBits int) {
 	words := len(plan.MetadataFields)
 	if words < 1 {
 		words = 1 // the direction/FG word is always carried
@@ -51,7 +60,7 @@ func EstimateResources(cfg Config, plan policy.SwitchPlan) Resources {
 	// Fixed machinery: parser, key/hash calculation, forwarding
 	// preservation, filter, short-buffer steering, stack resubmit
 	// path, aging recirculation.
-	tables := 34
+	tables = 34
 	tables += cfg.ShortBufCells // per-cell write steering
 	tables += words             // eviction mux per metadata word
 	tables += 8                 // long-buffer stack management
@@ -70,7 +79,7 @@ func EstimateResources(cfg Config, plan policy.SwitchPlan) Resources {
 	// pointer + array, hash state, aging cursor — the bulk of the
 	// paper's "heavily used by FE-Switch to implement the aggregation
 	// mechanism".
-	salus := 31
+	salus = 31
 	salus += words * cfg.ShortBufCells / 2 // register arrays for cell words
 	extraGrans := grans - 1                // per-extra-granularity key handling
 	if extraGrans > 2 {
@@ -84,27 +93,42 @@ func EstimateResources(cfg Config, plan policy.SwitchPlan) Resources {
 	sramMb := 19.5
 	sramMb += 0.3 * float64(words)
 	sramMb += 0.8 * float64(grans-1)
-	bits := int(sramMb * 1024 * 1024)
+	sramBits = int(sramMb * 1024 * 1024)
 
+	return tables, salus, sramBits
+}
+
+// EstimateResources models the P4 program the policy engine would
+// generate for the plan on a Tofino, as fractions of the device (see
+// EstimateCounts for the raw demands and the model rationale).
+// Fractions are clamped to [0,1]; Overflow records that clamping
+// fired.
+func EstimateResources(cfg Config, plan policy.SwitchPlan) Resources {
+	tables, salus, bits := EstimateCounts(cfg, plan)
 	r := Resources{
-		Tables: float64(tables) / float64(tofinoTablesTotal),
-		SALUs:  float64(salus) / float64(tofinoSALUsTotal),
-		SRAM:   float64(bits) / float64(tofinoSRAMBits),
+		Tables: float64(tables) / float64(TofinoTablesTotal),
+		SALUs:  float64(salus) / float64(TofinoSALUsTotal),
+		SRAM:   float64(bits) / float64(TofinoSRAMBits),
 	}
 	return clampResources(r)
 }
 
 func clampResources(r Resources) Resources {
-	c := func(v float64) float64 {
+	clamp := func(v float64) (float64, bool) {
 		if v > 1 {
-			return 1
+			return 1, true
 		}
 		if v < 0 {
-			return 0
+			return 0, false
 		}
-		return v
+		return v, false
 	}
-	return Resources{Tables: c(r.Tables), SALUs: c(r.SALUs), SRAM: c(r.SRAM)}
+	var of [3]bool
+	r.Tables, of[0] = clamp(r.Tables)
+	r.SALUs, of[1] = clamp(r.SALUs)
+	r.SRAM, of[2] = clamp(r.SRAM)
+	r.Overflow = r.Overflow || of[0] || of[1] || of[2]
+	return r
 }
 
 // ConfiguredMemoryBytes returns the cache memory the configuration
