@@ -24,6 +24,7 @@ import (
 
 	"superfe/internal/apps"
 	"superfe/internal/core"
+	"superfe/internal/faults"
 	"superfe/internal/feature"
 	"superfe/internal/nicsim"
 	"superfe/internal/obs"
@@ -42,6 +43,7 @@ func main() {
 	maxVecs := flag.Int("n", 0, "emit at most n vectors (0 = all)")
 	workers := flag.Int("workers", 1, "shard the pipeline across n switch+NIC pairs (>1 uses the parallel engine)")
 	verifyWire := flag.Bool("verify-wire", false, "round-trip every switch→NIC message through the binary wire codec; exit non-zero on any mismatch")
+	faultSpec := flag.String("faults", "", "seeded fault-injection plan, e.g. seed=7,rate=0.01,kinds=drop+corrupt,scope=0:3fffffff (kinds also accept wire/switch/nic/all; see internal/faults)")
 	obsOn := flag.Bool("obs", false, "enable the telemetry subsystem (implied by -metrics-addr and -metrics-out)")
 	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address (e.g. :9090); the process stays alive after the replay for scraping")
 	metricsOut := flag.String("metrics-out", "", "write the final metrics as a Prometheus text dump to this file (- = stdout)")
@@ -103,6 +105,14 @@ func main() {
 	}
 	opts := core.DefaultOptions()
 	opts.VerifyWire = *verifyWire
+	if *faultSpec != "" {
+		fp, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(2)
+		}
+		opts.Faults = fp
+	}
 	if *metricsAddr != "" || *metricsOut != "" {
 		*obsOn = true
 	}
@@ -134,6 +144,7 @@ func main() {
 			os.Exit(1)
 		}
 		sw.sw, sw.nic = pe.SwitchStats(), pe.NICStats()
+		sw.faults = pe.FaultStats()
 		if err := pe.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "superfe:", err)
 			os.Exit(1)
@@ -155,6 +166,8 @@ func main() {
 			os.Exit(1)
 		}
 		sw.sw, sw.nic = fe.SwitchStats(), fe.NICStats()
+		sw.faults = fe.FaultStats()
+		sw.degraded = fe.Degraded()
 	}
 
 	if *metricsOut != "" {
@@ -174,6 +187,9 @@ func main() {
 			sw.nic.Msgs, sw.nic.MGPVs, sw.nic.Cells, sw.nic.Vectors, sw.nic.GroupsLive)
 		fmt.Printf("aggregation: %.4f (%.2f%% reduction)\n", sw.sw.AggregationRatio(), 100*(1-sw.sw.AggregationRatio()))
 		fmt.Printf("vectors    : %d of dim %d\n", emitted, pol.FeatureDim())
+		if opts.Faults != nil {
+			fmt.Printf("faults     : %v degraded-now=%v\n", sw.faults, sw.degraded)
+		}
 	}
 
 	if *metricsAddr != "" {
@@ -221,8 +237,10 @@ func writeMetrics(path string, src obs.Source) error {
 // pipeStats bundles the merged pipeline counters from either
 // engine for the -stats report.
 type pipeStats struct {
-	sw  switchsim.Stats
-	nic nicsim.RuntimeStats
+	sw       switchsim.Stats
+	nic      nicsim.RuntimeStats
+	faults   faults.Stats
+	degraded bool
 }
 
 func makeTrace(name string, seed int64) (*trace.Trace, error) {

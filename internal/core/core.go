@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"superfe/internal/faults"
 	"superfe/internal/feature"
 	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
@@ -45,6 +46,16 @@ type Options struct {
 	// and sampled flow-lifecycle tracing. Zero value = disabled, which
 	// keeps the hot path byte-identical to the uninstrumented build.
 	Obs obs.Options
+	// Faults, when non-nil, enables the deterministic fault-injection
+	// subsystem (internal/faults): wire faults on the switch→NIC
+	// path, switch-side aging faults, and NIC-side stalls/allocation
+	// failures, paired with the engine's graceful-degradation
+	// machinery (bounded retry-with-backoff, frame quarantine, and a
+	// per-shard degraded mode that sheds long-buffer work). Each
+	// shard derives its own injector from the plan seed and shard
+	// index, so identical seeds reproduce identical fault sequences.
+	// Nil keeps every delivery on the reliable fast path.
+	Faults *faults.Plan
 }
 
 // DefaultOptions returns the paper's prototype configuration (§7).
@@ -70,6 +81,30 @@ type SuperFE struct {
 	// of a ParallelEngine share the router's recorder instead.
 	obs *obs.Pipeline
 	rec *obs.Recorder
+
+	// Fault injection + graceful degradation (all nil/zero when
+	// Options.Faults is nil). inj is this engine's injector; eng the
+	// telemetry panel; fenc the scratch buffer for fault-mutated
+	// encodings; held the reorder hold queue. The degraded-mode
+	// pressure controller accumulates stall cycles over a window of
+	// delivered messages and toggles the switch's long-buffer
+	// shedding with hysteresis.
+	inj      *faults.Injector
+	eng      *obs.EngineObs
+	fenc     []byte
+	held     []heldFrame
+	degraded bool
+	winMsgs  int
+	winStall int64
+}
+
+// heldFrame is one reorder-delayed frame: its wire encoding (the
+// borrowed eviction message cannot outlive the sink call, so the
+// bytes are the retained form) and a countdown in subsequently
+// delivered frames.
+type heldFrame struct {
+	buf []byte
+	due int
 }
 
 // New compiles the policy and deploys it.
@@ -78,7 +113,7 @@ func New(opts Options, pol *policy.Policy, sink feature.Sink) (*SuperFE, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: compile %q: %w", pol.Name(), err)
 	}
-	fe, err := newFromPlan(opts, plan, sink)
+	fe, err := newFromPlan(opts, plan, 0, sink)
 	if err != nil {
 		return nil, err
 	}
@@ -89,8 +124,9 @@ func New(opts Options, pol *policy.Policy, sink feature.Sink) (*SuperFE, error) 
 }
 
 // newFromPlan deploys an already-compiled plan (the parallel engine
-// compiles once and deploys one pair per shard).
-func newFromPlan(opts Options, plan *policy.Plan, sink feature.Sink) (*SuperFE, error) {
+// compiles once and deploys one pair per shard, passing each shard's
+// index so fault injectors draw independent per-shard streams).
+func newFromPlan(opts Options, plan *policy.Plan, shard int, sink feature.Sink) (*SuperFE, error) {
 	// The switch's sink is fe.deliver, which hands each message to the
 	// NIC runtime (or the wire codec) synchronously and never retains
 	// it — so the switch can safely reuse its cell and message
@@ -105,7 +141,23 @@ func newFromPlan(opts Options, plan *policy.Plan, sink feature.Sink) (*SuperFE, 
 		opts.Switch.Obs = pipe.Switch
 		opts.NIC.Obs = pipe.NIC
 	}
-	fe := &SuperFE{opts: opts, plan: plan, obs: pipe}
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		if err := opts.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		inj = opts.Faults.NewInjector(shard)
+		opts.Switch.Faults = inj
+		opts.NIC.Faults = inj
+		if pipe != nil {
+			eng := pipe.Engine
+			inj.OnInject = func(k faults.Kind) { eng.FaultsInjected[k].Inc() }
+		}
+	}
+	fe := &SuperFE{opts: opts, plan: plan, obs: pipe, inj: inj}
+	if pipe != nil {
+		fe.eng = pipe.Engine
+	}
 	var err error
 	fe.nic, err = nicsim.NewRuntime(opts.NIC, plan, sink)
 	if err != nil {
@@ -118,11 +170,25 @@ func newFromPlan(opts Options, plan *policy.Plan, sink feature.Sink) (*SuperFE, 
 	return fe, nil
 }
 
-// deliver carries one message over the switch→NIC channel, optionally
-// through the wire codec. A round-trip failure is recorded (first
-// error wins, surfaced by Err) and the message is dropped, modelling
-// a corrupted link transfer, rather than panicking mid-pipeline.
+// deliver carries one message over the switch→NIC channel. With
+// faults disabled this is the reliable fast path — one branch on top
+// of the zero-allocation pipeline; with a fault plan installed every
+// frame runs the injection gauntlet.
 func (fe *SuperFE) deliver(m gpv.Message) {
+	if fe.inj == nil {
+		fe.deliverDirect(m)
+		return
+	}
+	fe.injectAndForward(m)
+	fe.ageHeld()
+	fe.tickDegrade()
+}
+
+// deliverDirect is the reliable transfer, optionally through the wire
+// codec. A round-trip failure is recorded (first error wins, surfaced
+// by Err) and the message is dropped, modelling a corrupted link
+// transfer, rather than panicking mid-pipeline.
+func (fe *SuperFE) deliverDirect(m gpv.Message) {
 	if fe.opts.VerifyWire {
 		enc, err := m.Marshal(fe.enc[:0])
 		fe.enc = enc
@@ -143,6 +209,178 @@ func (fe *SuperFE) deliver(m gpv.Message) {
 		return
 	}
 	fe.nic.Process(m)
+}
+
+// injectAndForward decides and applies at most one wire fault for the
+// frame, then hands it to the retrying forwarder. FG table updates
+// ride the reliable control channel (§5.1 requires "synchronous
+// updates" of the shared FG key table — faulting one would
+// desynchronise every flow sharing the table, destroying the scoped
+// isolation the differential tests prove) and out-of-scope MGPVs
+// never consume injector randomness, so the fault sequence over the
+// scoped flows is independent of the surrounding traffic.
+func (fe *SuperFE) injectAndForward(m gpv.Message) {
+	if m.MGPV == nil || !fe.inj.InScope(m.MGPV.Hash) {
+		fe.forward(m)
+		return
+	}
+	switch fe.inj.WireKind() {
+	case faults.KindNone:
+		fe.forward(m)
+	case faults.KindDrop:
+		// Lost on the wire: the group's batched cells vanish.
+	case faults.KindDup:
+		// Delivered twice. Both deliveries are synchronous, so the
+		// borrowed ZeroCopy message is still valid for the second.
+		fe.forward(m)
+		fe.forward(m)
+	case faults.KindReorder:
+		// Delayed past the next ReorderWindow frames. The borrowed
+		// message cannot outlive this call, so the wire encoding (a
+		// copy by construction) is the retained form.
+		buf, err := m.Marshal(nil)
+		if err != nil {
+			fe.fail(fmt.Errorf("core: faults: marshal for reorder: %w", err))
+			return
+		}
+		fe.held = append(fe.held, heldFrame{buf: buf, due: fe.inj.Plan().ReorderWindow})
+	case faults.KindCorrupt:
+		enc, err := m.Marshal(fe.fenc[:0])
+		fe.fenc = enc
+		if err != nil {
+			fe.fail(fmt.Errorf("core: faults: marshal for corrupt: %w", err))
+			return
+		}
+		fe.inj.Corrupt(fe.fenc)
+		fe.forwardWire(fe.fenc)
+	case faults.KindTruncate:
+		enc, err := m.Marshal(fe.fenc[:0])
+		fe.fenc = enc
+		if err != nil {
+			fe.fail(fmt.Errorf("core: faults: marshal for truncate: %w", err))
+			return
+		}
+		fe.forwardWire(fe.fenc[:fe.inj.TruncateLen(len(fe.fenc))])
+	}
+}
+
+// forwardWire decodes a (possibly mutilated) wire frame and forwards
+// the result, quarantining anything the decode or the key-hash
+// integrity check rejects. The MGPV's switch-computed hash covers the
+// CG tuple and granularity, so a frame whose group identity was
+// damaged in flight cannot masquerade as another flow — it is counted
+// and dropped, never merged into the wrong group's state. A frame
+// whose kind byte mutated into an FG update is quarantined for the
+// same reason: it would poison the shared key table.
+func (fe *SuperFE) forwardWire(b []byte) {
+	dec, n, err := gpv.Unmarshal(b)
+	if err != nil || n != len(b) || dec.MGPV == nil || !dec.MGPV.KeyHashOK() {
+		fe.quarantine()
+		return
+	}
+	fe.forward(dec)
+}
+
+// forward attempts the transfer, modelling NFP island stalls with a
+// bounded retry-with-backoff loop: each busy hit charges
+// exponentially growing stall cycles to the degradation window, and a
+// frame that stays unlucky past MaxRetries is shed. FG updates skip
+// the island path (control channel).
+func (fe *SuperFE) forward(m gpv.Message) {
+	if m.MGPV != nil {
+		p := fe.inj.Plan()
+		attempt := 0
+		for fe.inj.IslandBusy() {
+			fe.winStall += p.StallCycles << attempt
+			if attempt >= p.MaxRetries {
+				fe.inj.CountRetryDrop()
+				if fe.eng != nil {
+					fe.eng.DeliverRetryDrops.Inc()
+				}
+				return
+			}
+			attempt++
+			fe.inj.CountRetry()
+			if fe.eng != nil {
+				fe.eng.DeliverRetries.Inc()
+			}
+		}
+	}
+	fe.deliverDirect(m)
+}
+
+// quarantine counts one rejected frame.
+func (fe *SuperFE) quarantine() {
+	fe.inj.CountQuarantined()
+	if fe.eng != nil {
+		fe.eng.FramesQuarantined.Inc()
+	}
+}
+
+// ageHeld advances the reorder hold queue by one delivered frame and
+// releases everything that has served its window.
+func (fe *SuperFE) ageHeld() {
+	if len(fe.held) == 0 {
+		return
+	}
+	n := 0
+	for i := range fe.held {
+		fe.held[i].due--
+		if fe.held[i].due <= 0 {
+			fe.releaseHeld(fe.held[i].buf)
+		} else {
+			fe.held[n] = fe.held[i]
+			n++
+		}
+	}
+	fe.held = fe.held[:n]
+}
+
+// releaseHeld decodes and forwards one reorder-delayed frame.
+func (fe *SuperFE) releaseHeld(b []byte) {
+	dec, n, err := gpv.Unmarshal(b)
+	if err != nil || n != len(b) {
+		// We encoded the frame ourselves, so this is unreachable —
+		// but a quarantine is still safer than a panic mid-pipeline.
+		fe.quarantine()
+		return
+	}
+	fe.forward(dec)
+}
+
+// tickDegrade runs the graceful-degradation pressure controller: a
+// window of delivered messages accumulates island-stall cycles, and
+// hysteresis thresholds flip the switch's long-buffer shedding. The
+// controller sees only logical quantities (messages, modelled
+// cycles), never a wall clock, so degraded-mode transitions are as
+// reproducible as the faults that cause them.
+func (fe *SuperFE) tickDegrade() {
+	fe.winMsgs++
+	p := fe.inj.Plan()
+	if fe.winMsgs < p.DegradeWindow {
+		return
+	}
+	if !fe.degraded && fe.winStall >= p.DegradeEnterCycles {
+		fe.setDegraded(true)
+	} else if fe.degraded && fe.winStall <= p.DegradeExitCycles {
+		fe.setDegraded(false)
+	}
+	fe.winMsgs, fe.winStall = 0, 0
+}
+
+// setDegraded flips degraded mode on the engine and its switch.
+func (fe *SuperFE) setDegraded(on bool) {
+	fe.degraded = on
+	fe.sw.SetDegraded(on)
+	fe.inj.CountDegradedTransition()
+	if fe.eng != nil {
+		fe.eng.DegradedTransitions.Inc()
+		v := int64(0)
+		if on {
+			v = 1
+		}
+		fe.eng.DegradedMode.Set(v)
+	}
 }
 
 // fail records the first wire error.
@@ -175,8 +413,14 @@ func (fe *SuperFE) processKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32
 }
 
 // Flush drains the switch cache and emits per-group feature vectors.
+// Reorder-delayed frames are released before the NIC drains so no
+// held metadata is lost at end of trace.
 func (fe *SuperFE) Flush() {
 	fe.sw.Flush()
+	for i := range fe.held {
+		fe.releaseHeld(fe.held[i].buf)
+	}
+	fe.held = fe.held[:0]
 	fe.nic.Flush()
 }
 
@@ -189,6 +433,14 @@ func (fe *SuperFE) SwitchStats() switchsim.Stats { return fe.sw.Stats() }
 
 // NICStats returns the FE-NIC counters.
 func (fe *SuperFE) NICStats() nicsim.RuntimeStats { return fe.nic.Stats() }
+
+// FaultStats returns the fault-injection counters (zero when no fault
+// plan is installed).
+func (fe *SuperFE) FaultStats() faults.Stats { return fe.inj.Stats() }
+
+// Degraded reports whether the engine is currently in degraded
+// (long-buffer shedding) mode.
+func (fe *SuperFE) Degraded() bool { return fe.degraded }
 
 // NICStateBytes returns the live NIC state footprint.
 func (fe *SuperFE) NICStateBytes() int { return fe.nic.StateBytes() }

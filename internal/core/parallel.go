@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"sync"
 
+	"superfe/internal/faults"
 	"superfe/internal/feature"
 	"superfe/internal/flowkey"
 	"superfe/internal/nicsim"
@@ -165,7 +166,7 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 				e.sinkMu.Unlock()
 			}
 		}
-		sh.fe, err = newFromPlan(opts.Options, plan, shardSink)
+		sh.fe, err = newFromPlan(opts.Options, plan, i, shardSink)
 		if err != nil {
 			e.stop()
 			return nil, err
@@ -390,6 +391,17 @@ func (e *ParallelEngine) NICStats() nicsim.RuntimeStats {
 	var total nicsim.RuntimeStats
 	for _, sh := range e.shards {
 		total.Add(sh.fe.NICStats())
+	}
+	return total
+}
+
+// FaultStats merges the per-shard fault-injection counters (zero when
+// no fault plan is installed). Establishes a Drain barrier.
+func (e *ParallelEngine) FaultStats() faults.Stats {
+	e.quiesce()
+	var total faults.Stats
+	for _, sh := range e.shards {
+		total.Add(sh.fe.FaultStats())
 	}
 	return total
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"superfe/internal/faults"
 	"superfe/internal/flowkey"
 )
 
@@ -71,4 +72,82 @@ func FuzzUnmarshalRoundTrip(f *testing.F) {
 			t.Fatalf("round trip is not stable:\n first %x\nsecond %x", out, out2)
 		}
 	})
+}
+
+// FuzzUnmarshalCorrupted is the corruption-mutating variant: instead
+// of fully arbitrary bytes, it starts from VALID wire encodings and
+// applies the fault injector's own corruption and truncation
+// operators — exactly the mutations the fault-injection subsystem
+// produces on the switch→NIC path. Unmarshal must either reject the
+// mutated frame with an error or decode something internally
+// consistent; it must never panic, over-consume, or return a frame
+// that fails re-marshalling. This is the decode-hardening contract
+// the engine's quarantine path relies on.
+func FuzzUnmarshalCorrupted(f *testing.F) {
+	tuple := flowkey.FiveTuple{
+		SrcIP: 0xc0a80101, DstIP: 0x08080808,
+		SrcPort: 31337, DstPort: 53, Proto: flowkey.ProtoUDP,
+	}
+	key := flowkey.Key{Gran: flowkey.GranFlow, Tuple: tuple}
+	msgs := []Message{
+		{FG: &FGUpdate{Index: 12, Key: tuple}},
+		{MGPV: &MGPV{CG: key, Hash: flowkey.HashKey(key), Reason: EvictAging,
+			Cells: []Cell{{FGIndex: 1, Forward: true, Values: []uint32{9, 8}}}}},
+		{MGPV: &MGPV{CG: key, Hash: flowkey.HashKey(key), Reason: EvictCollision,
+			Cells: []Cell{
+				{FGIndex: 0, Forward: false, Values: []uint32{1}},
+				{FGIndex: 2, Forward: true, Values: []uint32{2}},
+				{FGIndex: 4, Forward: true, Values: []uint32{3}},
+			}}},
+	}
+	for _, m := range msgs {
+		enc, err := m.Marshal(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc, int64(1), uint8(2))
+		f.Add(enc, int64(42), uint8(16))
+	}
+
+	f.Fuzz(func(t *testing.T, frame []byte, seed int64, flips uint8) {
+		plan := &faults.Plan{
+			Seed:         seed,
+			Rate:         1,
+			Kinds:        faults.WireKinds,
+			CorruptBytes: int(flips%32) + 1,
+		}
+		inj := plan.NewInjector(0)
+
+		// Corrupted variant.
+		buf := append([]byte(nil), frame...)
+		inj.Corrupt(buf)
+		checkHardened(t, buf)
+
+		// Truncated variant (of the corrupted frame — compound faults
+		// happen when a frame is hit on consecutive hops).
+		checkHardened(t, buf[:inj.TruncateLen(len(buf))])
+	})
+}
+
+// checkHardened asserts the decode contract on a possibly-mutilated
+// frame: error or internally consistent result, never a panic.
+func checkHardened(t *testing.T, b []byte) {
+	m, n, err := Unmarshal(b)
+	if err != nil {
+		return
+	}
+	if n <= 0 || n > len(b) {
+		t.Fatalf("consumed %d bytes of %d", n, len(b))
+	}
+	if m.MGPV != nil {
+		if m.MGPV.CG.Gran > flowkey.GranSocket {
+			t.Fatalf("decoded out-of-range granularity %d", m.MGPV.CG.Gran)
+		}
+		if m.MGPV.Reason > EvictFlush {
+			t.Fatalf("decoded out-of-range evict reason %d", m.MGPV.Reason)
+		}
+	}
+	if _, err := m.Marshal(nil); err != nil {
+		t.Fatalf("accepted frame does not re-marshal: %v", err)
+	}
 }

@@ -106,6 +106,8 @@ var (
 	ErrShortBuffer = errors.New("gpv: short buffer")
 	ErrBadKind     = errors.New("gpv: unknown message kind")
 	ErrCellShape   = errors.New("gpv: inconsistent cell value counts")
+	ErrBadGran     = errors.New("gpv: granularity out of range")
+	ErrBadReason   = errors.New("gpv: eviction reason out of range")
 )
 
 func putTuple(b []byte, t flowkey.FiveTuple) {
@@ -216,11 +218,17 @@ func Unmarshal(b []byte) (Message, int, error) {
 		}
 		v := &MGPV{}
 		v.CG.Gran = flowkey.Granularity(b[1])
+		if v.CG.Gran > flowkey.GranSocket {
+			return Message{}, 0, ErrBadGran
+		}
 		v.CG.Tuple = getTuple(b[2 : 2+tupleBytes])
 		off := 2 + tupleBytes
 		v.Hash = binary.BigEndian.Uint32(b[off : off+4])
 		off += 4
 		v.Reason = EvictReason(b[off])
+		if v.Reason > EvictFlush {
+			return Message{}, 0, ErrBadReason
+		}
 		off++
 		ncells := int(binary.BigEndian.Uint16(b[off : off+2]))
 		off += 2
@@ -247,6 +255,17 @@ func Unmarshal(b []byte) (Message, int, error) {
 		return Message{MGPV: v}, off, nil
 	}
 	return Message{}, 0, ErrBadKind
+}
+
+// KeyHashOK reports whether the MGPV's carried hash matches the hash
+// recomputed from its CG key. The switch computes the hash once and
+// the NIC reuses it (§6.2); because flowkey.HashKey covers both the
+// tuple and the granularity, the carried hash doubles as a free
+// end-to-end integrity check — a corrupted key or hash field on the
+// wire fails this test, so the delivery path can quarantine the frame
+// instead of merging foreign cells into the wrong group's state.
+func (v *MGPV) KeyHashOK() bool {
+	return flowkey.HashKey(v.CG) == v.Hash
 }
 
 // GPVSize returns the wire size a plain single-granularity GPV record

@@ -29,6 +29,7 @@ package nicsim
 import (
 	"fmt"
 
+	"superfe/internal/faults"
 	"superfe/internal/obs"
 )
 
@@ -95,6 +96,11 @@ type Config struct {
 	// registry. Nil keeps the hot path byte-identical to the
 	// uninstrumented build.
 	Obs *obs.NICObs
+	// Faults, when non-nil, injects the NIC-side fault kinds the
+	// runtime handles itself (transient EMEM allocation failures on
+	// group admission; island stalls are modelled at the delivery
+	// layer in core). Nil disables injection.
+	Faults *faults.Injector
 }
 
 // Optimizations toggles the §6.2 cycle optimizations, enabling the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"superfe/internal/faults"
 	"superfe/internal/feature"
 	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
@@ -39,6 +40,9 @@ type Runtime struct {
 	// multiply per message on the hot path.
 	obs           *obs.NICObs
 	cyclesPerCell float64
+
+	// inj mirrors cfg.Faults (nil when injection is disabled).
+	inj *faults.Injector
 
 	// Slab allocator for group state: groups, their reducer slices and
 	// scratch slices are carved from block allocations so admitting a
@@ -77,6 +81,9 @@ type RuntimeStats struct {
 	Cells       uint64
 	UnknownFG   uint64 // cells whose FG index had no synced key (dropped)
 	Vectors     uint64
+	// EMEMDrops counts per-granularity cell contributions dropped by
+	// injected transient EMEM allocation failures on group admission.
+	EMEMDrops   uint64
 	GroupsLive  int // gauge: live per-granularity group-state entries
 	DRAMEntries int // gauge: group-table entries past the fixed chain (modelled)
 }
@@ -92,6 +99,7 @@ func (s *RuntimeStats) Add(o RuntimeStats) {
 	s.Cells += o.Cells
 	s.UnknownFG += o.UnknownFG
 	s.Vectors += o.Vectors
+	s.EMEMDrops += o.EMEMDrops
 	s.GroupsLive += o.GroupsLive
 	s.DRAMEntries += o.DRAMEntries
 }
@@ -169,6 +177,7 @@ func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, err
 		fgTable: make([]fgSlot, 1<<16),
 		groups:  make(map[flowkey.Key]*group),
 		sink:    sink,
+		inj:     cfg.Faults,
 	}
 	// Field position index within cells.
 	fieldPos := map[packet.FieldName]int{}
@@ -432,6 +441,15 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 			key, fwd := flowkey.KeyFor(pr.gran, tuple)
 			g, ok := r.groups[key]
 			if !ok {
+				// Transient EMEM allocation failure: group admission
+				// loses the allocator race and this cell's contribution
+				// to this granularity is dropped; the group's next cell
+				// retries the admission naturally. Scoped by the MGPV's
+				// switch-computed CG hash, like the wire faults.
+				if r.inj.EMEMFail(v.Hash) {
+					r.stats.EMEMDrops++
+					continue
+				}
 				g = r.newGroup(pr, key)
 				r.groups[key] = g
 			}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"superfe/internal/faults"
 	"superfe/internal/gpv"
 	"superfe/internal/streaming"
 )
@@ -23,6 +24,11 @@ type SwitchObs struct {
 	// Evictions is indexed by gpv.EvictReason; labels are rendered
 	// from EvictReason.String.
 	Evictions [4]Counter
+
+	// CellsShed counts cells dropped by degraded-mode shedding —
+	// long-buffer work abandoned to keep short-buffer extraction
+	// alive under sustained NIC pressure.
+	CellsShed Counter
 
 	// OccupiedSlots and LongGranted track MGPV cache occupancy
 	// (instantaneous; summed across shards at snapshot).
@@ -62,13 +68,37 @@ type NICObs struct {
 	Tracer *FlowTracer
 }
 
+// EngineObs is the fault-injection and graceful-degradation panel:
+// what the engine injected, what the delivery path survived, and
+// whether the shard is currently shedding long-buffer work. Series
+// are registered unconditionally (zero when faults are disabled) so
+// the registry schema stays identical across shards and runs.
+type EngineObs struct {
+	// FaultsInjected is indexed by faults.Kind; labels are rendered
+	// from Kind.String — the same convention as SwitchObs.Evictions.
+	FaultsInjected [faults.NumKinds]Counter
+	// FramesQuarantined counts frames rejected at wire decode or
+	// key-hash integrity check instead of poisoning NIC state.
+	FramesQuarantined Counter
+	// DeliverRetries / DeliverRetryDrops count the bounded
+	// retry-with-backoff loop on island-stalled deliveries.
+	DeliverRetries    Counter
+	DeliverRetryDrops Counter
+	// DegradedTransitions counts degraded-mode enter+exit events;
+	// DegradedMode is the instantaneous state (0/1 per shard, summed
+	// across shards at snapshot into "shards currently degraded").
+	DegradedTransitions Counter
+	DegradedMode        Gauge
+}
+
 // Pipeline bundles one engine shard's telemetry: a registry, the
-// switch and NIC panels publishing into it, and the shard's lifecycle
-// tracer.
+// switch, NIC and engine panels publishing into it, and the shard's
+// lifecycle tracer.
 type Pipeline struct {
 	Registry *Registry
 	Switch   *SwitchObs
 	NIC      *NICObs
+	Engine   *EngineObs
 	Tracer   *FlowTracer
 }
 
@@ -114,6 +144,8 @@ func NewPipeline(o Options) *Pipeline {
 		sw.Evictions[reason] = r.Counter("superfe_switch_evictions_total",
 			"MGPV evictions by cause", L("reason", gpv.EvictReason(reason).String()))
 	}
+	sw.CellsShed = r.Counter("superfe_switch_cells_shed_total",
+		"cells dropped by degraded-mode long-buffer shedding")
 	nic := &NICObs{
 		Msgs:          r.Counter("superfe_nic_msgs_total", "messages consumed from the switch-to-NIC channel"),
 		MGPVs:         r.Counter("superfe_nic_mgpvs_total", "MGPV messages merged into NIC group state"),
@@ -127,6 +159,22 @@ func NewPipeline(o Options) *Pipeline {
 		EmitLatency:   r.Histogram("superfe_nic_emit_latency_ticks", "logical ticks (NIC cells) between group admission and vector emit", latencyEdges),
 		Tracer:        tr,
 	}
+	eng := &EngineObs{
+		FramesQuarantined: r.Counter("superfe_frames_quarantined_total",
+			"frames rejected at wire decode or key-hash integrity check"),
+		DeliverRetries: r.Counter("superfe_deliver_retries_total",
+			"delivery re-attempts after island stalls"),
+		DeliverRetryDrops: r.Counter("superfe_deliver_retry_drops_total",
+			"frames shed after exhausting the deliver retry budget"),
+		DegradedTransitions: r.Counter("superfe_degraded_mode_transitions_total",
+			"degraded-mode enter and exit events"),
+		DegradedMode: r.Gauge("superfe_engine_degraded_mode",
+			"shards currently in degraded (long-buffer shedding) mode"),
+	}
+	for k := range eng.FaultsInjected {
+		eng.FaultsInjected[k] = r.Counter("superfe_faults_injected_total",
+			"injected faults by kind", L("kind", faults.Kind(k).String()))
+	}
 	r.Seal()
-	return &Pipeline{Registry: r, Switch: sw, NIC: nic, Tracer: tr}
+	return &Pipeline{Registry: r, Switch: sw, NIC: nic, Engine: eng, Tracer: tr}
 }

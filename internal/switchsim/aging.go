@@ -23,6 +23,15 @@ func (s *Switch) runAging() {
 	if s.agingNext > s.now {
 		return
 	}
+	// Recirculation stall fault: the internal aging packets lose their
+	// recirculation slot for a while, postponing the whole scan. The
+	// entries they would have checked stay resident past T and age out
+	// on the next pass — a timing-only perturbation that delays
+	// evictions without changing any group's cell stream.
+	if d := s.inj.AgingStall(); d > 0 {
+		s.agingNext = s.now + d
+		return
+	}
 	// Number of checks the recirculated packets performed during the
 	// elapsed interval, bounded by one full sweep (more passes over
 	// the same entries find nothing new to expire).
@@ -32,6 +41,14 @@ func (s *Switch) runAging() {
 	}
 	for i := int64(0); i < due; i++ {
 		sl := &s.slots[s.agingCursor]
+		// Register-array soft error: the slot's last-access register
+		// reads back stale, so the idle test fires early and the group
+		// is evicted prematurely. Its batched cells still reach the
+		// NIC (aging evictions emit the MGPV), so features survive —
+		// only the batching is worse.
+		if sl.occupied && s.inj.SoftError(sl.hash) {
+			sl.lastAccess = s.now - s.cfg.AgingT - 1
+		}
 		if sl.occupied && s.now-sl.lastAccess > s.cfg.AgingT {
 			// Evict with the aging reason and release the long buffer
 			// so it can be reused by other long flows — the memory

@@ -27,6 +27,10 @@ type Stats struct {
 
 	Evictions   [4]uint64 // indexed by gpv.EvictReason
 	AgingChecks uint64
+
+	// ShedCells counts cells dropped by degraded-mode long-buffer
+	// shedding (graceful degradation under sustained NIC pressure).
+	ShedCells uint64
 }
 
 // Add accumulates another switch's counters — merging per-shard
@@ -49,6 +53,7 @@ func (s *Stats) Add(o Stats) {
 		s.Evictions[i] += o.Evictions[i]
 	}
 	s.AgingChecks += o.AgingChecks
+	s.ShedCells += o.ShedCells
 }
 
 // AggregationRatio is the Figure 12 metric: bytes sent to the NIC
@@ -81,7 +86,11 @@ func (s Stats) String() string {
 		}
 		fmt.Fprintf(&ev, "%s=%d", gpv.EvictReason(i), n)
 	}
-	return fmt.Sprintf("in=%dpkt/%dB filtered=%d out=%dmsg/%dB cells=%d agg=%.3f evict[%s] fgupd=%d fgow=%d",
+	out := fmt.Sprintf("in=%dpkt/%dB filtered=%d out=%dmsg/%dB cells=%d agg=%.3f evict[%s] fgupd=%d fgow=%d",
 		s.PktsIn, s.BytesIn, s.PktsFiltered, s.MsgsOut, s.BytesOut, s.CellsOut, s.AggregationRatio(),
 		ev.String(), s.FGUpdates, s.FGOverwrites)
+	if s.ShedCells > 0 {
+		out += fmt.Sprintf(" shed=%d", s.ShedCells)
+	}
+	return out
 }

@@ -27,6 +27,7 @@ package switchsim
 import (
 	"fmt"
 
+	"superfe/internal/faults"
 	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
 	"superfe/internal/obs"
@@ -65,6 +66,12 @@ type Config struct {
 	// registry. All hooks are allocation-free; nil keeps the hot path
 	// byte-identical to an uninstrumented switch.
 	Obs *obs.SwitchObs
+	// Faults, when non-nil, injects the switch-side fault kinds
+	// (recirculation stalls that postpone the aging scan,
+	// register-array soft errors that spoil a slot's last-access
+	// timestamp). The injector is owned by the shard; nil disables
+	// injection with no hot-path cost.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns the prototype parameters from §7.
@@ -144,6 +151,13 @@ type Switch struct {
 	agingCursor int
 	agingNext   int64
 
+	// Fault injection + graceful degradation. inj is the shard's
+	// injector (nil when faults are disabled); degraded is set by the
+	// engine's pressure controller and makes appendCell shed
+	// long-buffer work while keeping short-buffer extraction.
+	inj      *faults.Injector
+	degraded bool
+
 	// singleGran is set when the switch emulates a plain GPV cache
 	// for one granularity (the Figure 13 baseline): the FG table is
 	// not used and cells carry no FG index.
@@ -168,6 +182,7 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 		fgTable:  make([]fgEntry, cfg.FGTableSize),
 		out:      sink,
 		obs:      cfg.Obs,
+		inj:      cfg.Faults,
 	}
 	for i := range s.slots {
 		s.slots[i].longIdx = -1
@@ -188,6 +203,18 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 
 // Stats returns a copy of the switch counters.
 func (s *Switch) Stats() Stats { return s.stat }
+
+// SetDegraded switches degraded mode on or off. While degraded the
+// switch stops granting long buffers and sheds cells that would need
+// one — keeping short-buffer extraction (the first ShortBufCells
+// cells of every group, which carry the paper's short-flow features)
+// while abandoning the long tail that drives NIC pressure. The
+// engine's pressure controller calls this; it is not a packet-path
+// operation.
+func (s *Switch) SetDegraded(on bool) { s.degraded = on }
+
+// Degraded reports whether degraded mode is active.
+func (s *Switch) Degraded() bool { return s.degraded }
 
 // Plan returns the switch plan in force.
 func (s *Switch) Plan() policy.SwitchPlan { return s.plan }
@@ -380,9 +407,11 @@ func (s *Switch) pushCell(buf *[]gpv.Cell, c *gpv.Cell) {
 func (s *Switch) appendCell(sl *slot, cell *gpv.Cell) {
 	if len(sl.short) < s.cfg.ShortBufCells {
 		s.pushCell(&sl.short, cell)
-		if len(sl.short) == s.cfg.ShortBufCells && sl.longIdx < 0 {
+		if len(sl.short) == s.cfg.ShortBufCells && sl.longIdx < 0 && !s.degraded {
 			// Short buffer just filled for the first time: likely a
 			// long flow — try to pop a long buffer from the stack.
+			// Degraded mode skips the grant: long-buffer work is what
+			// the shard is shedding.
 			if n := len(s.stack); n > 0 && s.cfg.LongBufCells > 0 {
 				sl.longIdx = s.stack[n-1]
 				s.stack = s.stack[:n-1]
@@ -413,7 +442,19 @@ func (s *Switch) appendCell(sl *slot, cell *gpv.Cell) {
 		s.pushCell(&s.longBufs[sl.longIdx], cell)
 		return
 	}
-	// No long buffer available: evict the short buffer and restart it.
+	// No long buffer available. Degraded mode sheds the overflow cell
+	// instead of evicting-and-restarting: the short buffer's batch
+	// (the short-flow features) is preserved and will still reach the
+	// NIC on collision/aging/flush, but the long tail stops generating
+	// eviction traffic toward the stalled NIC.
+	if s.degraded {
+		s.stat.ShedCells++
+		if o := s.obs; o != nil {
+			o.CellsShed.Inc()
+		}
+		return
+	}
+	// Evict the short buffer and restart it.
 	s.evict(sl, gpv.EvictFull, false)
 	s.pushCell(&sl.short, cell)
 }
