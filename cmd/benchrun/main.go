@@ -1,0 +1,197 @@
+// Command benchrun measures the parallel pipeline's steady-state
+// per-packet cost and persists the result as a BENCH_<n>.json record
+// — the repo's committed performance trajectory (see DESIGN.md §11).
+// It wraps the same workload as BenchmarkParallelPipeline in
+// bench_test.go (NPOD policy over the seeded ENTERPRISE trace, full
+// warmup pass, then a timed Process loop) behind testing.Benchmark,
+// so the numbers line up with `go test -bench`.
+//
+// Usage:
+//
+//	benchrun -workers 1 -short                 # measure, print JSON
+//	benchrun -workers 1 -short -save           # append BENCH_<n+1>.json
+//	benchrun -workers 1 -short -diff BENCH_1.json   # regression gate
+//
+// With -diff the process exits 1 when the run is more than -tolerance
+// slower (ns/pkt) than the baseline or allocates where the baseline
+// did not — the CI bench-diff job's contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+
+	"superfe/internal/apps"
+	"superfe/internal/benchjson"
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/harness"
+	"superfe/internal/policy"
+	"superfe/internal/trace"
+)
+
+func main() {
+	workers := flag.Int("workers", 1, "shard count for the parallel engine")
+	short := flag.Bool("short", false, "short mode: 1000-flow trace (the mode CI measures); default is the full 5000-flow bench_test trace")
+	save := flag.Bool("save", false, "append the result as the next BENCH_<n>.json at the repo root (or -out's directory)")
+	out := flag.String("out", "", "write the result to this exact path instead of auto-numbering")
+	diff := flag.String("diff", "", "compare against this baseline BENCH_<n>.json ('latest' = highest-numbered in the current directory); exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/pkt slowdown for -diff (allocations always have zero tolerance)")
+	note := flag.String("note", "", "free-form note recorded in the JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the measured run to this file")
+	benchtime := flag.String("benchtime", "", "override the measurement budget, testing syntax (e.g. 2s or 100x); default 1s")
+	testing.Init() // registers test.* flags so -benchtime can map onto test.benchtime
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fatal(err)
+		}
+	}
+
+	pol := findPolicy("NPOD")
+	if pol == nil {
+		fatal(fmt.Errorf("bundled policy NPOD not found"))
+	}
+	cfg := trace.EnterpriseConfig
+	mode := "full"
+	cfg.Flows = 5000
+	if *short {
+		mode, cfg.Flows = "short", 1000
+	}
+	tr := trace.Generate(cfg, harness.Seed)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	res := measure(pol, tr, *workers)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	nsPerPkt := float64(res.T.Nanoseconds()) / float64(res.N)
+	r := benchjson.Result{
+		Schema:      benchjson.SchemaVersion,
+		GitSHA:      gitSHA(),
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+		Workers:     *workers,
+		Mode:        mode,
+		Policy:      "NPOD",
+		Trace:       "enterprise",
+		NsPerPkt:    nsPerPkt,
+		PktsPerSec:  float64(res.N) / res.T.Seconds(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iters:       int64(res.N),
+		Note:        *note,
+	}
+	fmt.Printf("benchrun: workers=%d mode=%s %.1f ns/pkt %.0f pkts/s %d allocs/op %d B/op (%d iters)\n",
+		r.Workers, r.Mode, r.NsPerPkt, r.PktsPerSec, r.AllocsPerOp, r.BytesPerOp, r.Iters)
+
+	path := *out
+	if path == "" && *save {
+		var err error
+		if path, err = benchjson.NextPath("."); err != nil {
+			fatal(err)
+		}
+	}
+	if path != "" {
+		if err := benchjson.Save(path, r); err != nil {
+			fatal(err)
+		}
+		fmt.Println("benchrun: wrote", path)
+	}
+
+	if *diff != "" {
+		basePath := *diff
+		if basePath == "latest" {
+			var err error
+			if basePath, err = benchjson.Latest("."); err != nil {
+				fatal(err)
+			}
+		}
+		baseline, err := benchjson.Load(basePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := benchjson.Compare(baseline, r, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL vs %s: %v\n", basePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchrun: OK vs %s (baseline %.1f ns/pkt, %d allocs/op)\n",
+			basePath, baseline.NsPerPkt, baseline.AllocsPerOp)
+	}
+}
+
+// measure runs the same shape as BenchmarkParallelPipeline/bare: a
+// full warmup pass admitting every group, then a timed steady-state
+// Process loop over the trace.
+func measure(pol *policy.Policy, tr *trace.Trace, workers int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		opts := core.DefaultParallelOptions()
+		opts.Workers = workers
+		pe, err := core.NewParallel(opts, pol, func(feature.Vector) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pe.Close()
+		for i := range tr.Packets {
+			pe.Process(&tr.Packets[i])
+		}
+		pe.Drain()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pe.Process(&tr.Packets[i%len(tr.Packets)])
+		}
+		pe.Drain()
+		b.StopTimer()
+	})
+}
+
+func findPolicy(name string) *policy.Policy {
+	for _, e := range apps.Catalog() {
+		if strings.EqualFold(e.Name, name) {
+			return e.Build()
+		}
+	}
+	return nil
+}
+
+// gitSHA records the measured commit; "unknown" outside a checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package main
+
+// benchrun smoke tests: build the real binary once, then exercise the
+// measure→persist→diff loop end to end with a tiny -benchtime so the
+// suite stays fast. The regression gate's math is unit-tested in
+// internal/benchjson; here we pin the process-level contract (JSON on
+// disk, profiles non-empty, exit 1 on a seeded regression).
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"superfe/internal/benchjson"
+)
+
+var benchrunBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "benchrun-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	benchrunBin = filepath.Join(dir, "benchrun")
+	out, err := exec.Command("go", "build", "-o", benchrunBin, ".").CombinedOutput()
+	if err != nil {
+		os.Stderr.Write(out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func runBenchrun(t *testing.T, dir string, args ...string) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(benchrunBin, args...)
+	cmd.Dir = dir
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return buf.String(), code
+}
+
+func TestMeasureWritesResultAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, code := runBenchrun(t, dir, "-workers", "1", "-short", "-benchtime", "5x",
+		"-save", "-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("benchrun exited %d:\n%s", code, out)
+	}
+	r, err := benchjson.Load(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("result not persisted: %v", err)
+	}
+	if r.Mode != "short" || r.Workers != 1 || r.NsPerPkt <= 0 || r.Iters != 5 {
+		t.Errorf("implausible persisted result: %+v", r)
+	}
+	// At 5 iterations the Drain barrier's ack channel (one allocation
+	// per measured run, amortized to zero at real benchtimes) still
+	// shows up; anything beyond it would be a per-packet allocation.
+	if r.AllocsPerOp > 1 {
+		t.Errorf("hot path allocated: %d allocs/op", r.AllocsPerOp)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (%v)", p, err)
+		}
+	}
+}
+
+func TestDiffGateFailsOnSeededRegression(t *testing.T) {
+	dir := t.TempDir()
+	// A baseline absurdly faster than any real run: the current
+	// measurement must trip the ns/pkt gate and exit 1.
+	impossible := benchjson.Result{
+		Schema: benchjson.SchemaVersion, Workers: 1, Mode: "short",
+		Policy: "NPOD", Trace: "enterprise", NsPerPkt: 0.001, PktsPerSec: 1e12,
+	}
+	if err := benchjson.Save(filepath.Join(dir, "BENCH_1.json"), impossible); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runBenchrun(t, dir, "-workers", "1", "-short", "-benchtime", "5x", "-diff", "latest")
+	if code != 1 {
+		t.Fatalf("seeded regression exited %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "ns/pkt regression") {
+		t.Errorf("failure output does not name the regression:\n%s", out)
+	}
+}

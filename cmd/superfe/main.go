@@ -19,6 +19,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -47,6 +49,8 @@ func main() {
 	obsOn := flag.Bool("obs", false, "enable the telemetry subsystem (implied by -metrics-addr and -metrics-out)")
 	metricsAddr := flag.String("metrics-addr", "", "serve telemetry over HTTP on this address (e.g. :9090); the process stays alive after the replay for scraping")
 	metricsOut := flag.String("metrics-out", "", "write the final metrics as a Prometheus text dump to this file (- = stdout)")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file (inspect with go tool pprof)")
+	memProf := flag.String("memprofile", "", "write a heap profile taken after the replay to this file")
 	flag.Parse()
 
 	if *list {
@@ -87,6 +91,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "superfe:", err)
 		os.Exit(2)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
 	}
 
 	emitted := 0
@@ -170,6 +186,18 @@ func main() {
 		sw.degraded = fe.Degraded()
 	}
 
+	// Profiles cover exactly the replay (not trace generation, not the
+	// post-run metrics serving).
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		if err := writeHeapProfile(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *metricsOut != "" {
 		if err := writeMetrics(*metricsOut, src); err != nil {
 			fmt.Fprintln(os.Stderr, "superfe: metrics dump:", err)
@@ -213,6 +241,18 @@ func serveMetrics(addr string, src obs.Source) {
 			os.Exit(1)
 		}
 	}()
+}
+
+// writeHeapProfile forces a GC (so the profile reflects live state,
+// not garbage awaiting collection) and writes the heap profile.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 // writeMetrics dumps the final merged snapshot in Prometheus text

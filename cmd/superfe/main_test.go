@@ -117,3 +117,23 @@ func TestMissingPolicyExitsTwo(t *testing.T) {
 		t.Errorf("missing usage hint:\n%s", out)
 	}
 }
+
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out, code := runCLI(t, "-policy", "NPOD", "-trace", "campus", "-seed", "3", "-stats",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("profiled replay exited %d:\n%s", code, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}

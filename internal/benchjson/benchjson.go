@@ -1,0 +1,164 @@
+// Package benchjson defines the persisted benchmark-result schema the
+// repo uses to track its performance trajectory. cmd/benchrun writes
+// one BENCH_<n>.json per recorded run (the numbered sequence at the
+// repo root is the committed history); CI re-measures the same
+// configuration and diffs against the latest committed file, failing
+// on a ns/pkt regression beyond the tolerance or on any hot-path
+// allocation at all.
+//
+// The comparison logic lives here rather than in the command so the
+// regression gate itself is unit-tested: a seeded slowdown must trip
+// Compare, and a mismatched configuration must refuse to compare
+// rather than produce a meaningless verdict.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// SchemaVersion identifies the BENCH_<n>.json layout. Bump it when a
+// field changes meaning; Compare refuses cross-version diffs.
+const SchemaVersion = 1
+
+// Result is one recorded benchmark run of the parallel pipeline.
+type Result struct {
+	// Schema is the SchemaVersion the file was written with.
+	Schema int `json:"schema"`
+	// GitSHA is the commit the run measured ("unknown" outside a
+	// checkout). Informational only — Compare ignores it.
+	GitSHA string `json:"git_sha"`
+	// GoVersion and CPUs record the environment. Informational.
+	GoVersion string `json:"go_version"`
+	CPUs      int    `json:"cpus"`
+
+	// Workers, Mode, Policy and Trace pin the measured configuration.
+	// Compare requires them to match between baseline and current.
+	Workers int    `json:"workers"`
+	Mode    string `json:"mode"` // "short" or "full"
+	Policy  string `json:"policy"`
+	Trace   string `json:"trace"`
+
+	// The measurements. NsPerPkt is the gated metric; AllocsPerOp has
+	// zero tolerance (the hot path must stay allocation-free).
+	NsPerPkt    float64 `json:"ns_per_pkt"`
+	PktsPerSec  float64 `json:"pkts_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iters       int64   `json:"iters"`
+
+	// Note is free-form context (e.g. the pre-change number a run was
+	// measured against).
+	Note string `json:"note,omitempty"`
+}
+
+// Save writes r as indented JSON (trailing newline, so the committed
+// files are diff-friendly).
+func Save(path string, r Result) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads one Result, rejecting unknown schema versions.
+func Load(path string) (Result, error) {
+	var r Result
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return r, fmt.Errorf("%s: schema %d, this build reads %d", path, r.Schema, SchemaVersion)
+	}
+	return r, nil
+}
+
+// Compare gates current against baseline: an error means the gate
+// failed. tolerance is the allowed fractional ns/pkt slowdown (0.10 =
+// +10%); allocations are compared strictly — any increase, or any
+// nonzero count when the baseline was clean, fails. Improvements
+// always pass. Mismatched configurations (mode, workers, policy,
+// trace, schema) refuse to compare.
+func Compare(baseline, current Result, tolerance float64) error {
+	if baseline.Schema != current.Schema {
+		return fmt.Errorf("schema mismatch: baseline %d vs current %d", baseline.Schema, current.Schema)
+	}
+	if baseline.Mode != current.Mode {
+		return fmt.Errorf("mode mismatch: baseline %q vs current %q (run benchrun with the baseline's mode)", baseline.Mode, current.Mode)
+	}
+	if baseline.Workers != current.Workers {
+		return fmt.Errorf("workers mismatch: baseline %d vs current %d", baseline.Workers, current.Workers)
+	}
+	if baseline.Policy != current.Policy || baseline.Trace != current.Trace {
+		return fmt.Errorf("workload mismatch: baseline %s/%s vs current %s/%s",
+			baseline.Policy, baseline.Trace, current.Policy, current.Trace)
+	}
+	if tolerance < 0 {
+		return fmt.Errorf("negative tolerance %v", tolerance)
+	}
+	limit := baseline.NsPerPkt * (1 + tolerance)
+	if current.NsPerPkt > limit {
+		return fmt.Errorf("ns/pkt regression: %.1f vs baseline %.1f (+%.1f%%, tolerance %.0f%%)",
+			current.NsPerPkt, baseline.NsPerPkt,
+			100*(current.NsPerPkt-baseline.NsPerPkt)/baseline.NsPerPkt, 100*tolerance)
+	}
+	if current.AllocsPerOp > baseline.AllocsPerOp {
+		return fmt.Errorf("allocation regression: %d allocs/op vs baseline %d (zero tolerance)",
+			current.AllocsPerOp, baseline.AllocsPerOp)
+	}
+	return nil
+}
+
+var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Latest returns the highest-numbered BENCH_<n>.json in dir, or an
+// error when none exists.
+func Latest(dir string) (string, error) {
+	path, n, err := scan(dir)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", fmt.Errorf("no BENCH_<n>.json files in %s", dir)
+	}
+	return path, nil
+}
+
+// NextPath returns the first unused BENCH_<n>.json path in dir
+// (BENCH_1.json when the trajectory is empty).
+func NextPath(dir string) (string, error) {
+	_, n, err := scan(dir)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n+1)), nil
+}
+
+// scan finds the highest-numbered trajectory file; n is 0 when none.
+func scan(dir string) (path string, n int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, err
+	}
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		k, err := strconv.Atoi(m[1])
+		if err != nil || k <= n {
+			continue
+		}
+		n, path = k, filepath.Join(dir, e.Name())
+	}
+	return path, n, nil
+}

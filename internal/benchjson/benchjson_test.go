@@ -1,0 +1,137 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func base() Result {
+	return Result{
+		Schema:     SchemaVersion,
+		GitSHA:     "abc1234",
+		GoVersion:  "go1.22",
+		CPUs:       1,
+		Workers:    1,
+		Mode:       "short",
+		Policy:     "NPOD",
+		Trace:      "enterprise",
+		NsPerPkt:   400,
+		PktsPerSec: 2.5e6,
+		Iters:      1000,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	want := base()
+	want.Note = "baseline"
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLoadRejectsUnknownSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	r := base()
+	r.Schema = SchemaVersion + 1
+	if err := Save(path, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("future schema loaded without error, got %v", err)
+	}
+}
+
+// TestCompareFailsOnSeededRegression is the gate's own regression
+// test: a current run 10%+tolerance slower than baseline must fail,
+// and one just inside the tolerance must pass.
+func TestCompareFailsOnSeededRegression(t *testing.T) {
+	baseline := base()
+
+	slow := baseline
+	slow.NsPerPkt = baseline.NsPerPkt * 1.11 // 11% > 10% tolerance
+	if err := Compare(baseline, slow, 0.10); err == nil {
+		t.Fatal("11% ns/pkt regression passed a 10% gate")
+	} else if !strings.Contains(err.Error(), "ns/pkt regression") {
+		t.Fatalf("regression error does not name the metric: %v", err)
+	}
+
+	ok := baseline
+	ok.NsPerPkt = baseline.NsPerPkt * 1.09 // inside tolerance
+	if err := Compare(baseline, ok, 0.10); err != nil {
+		t.Fatalf("9%% slowdown failed a 10%% gate: %v", err)
+	}
+
+	faster := baseline
+	faster.NsPerPkt = baseline.NsPerPkt * 0.5
+	if err := Compare(baseline, faster, 0.10); err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+}
+
+func TestCompareAllocsZeroTolerance(t *testing.T) {
+	baseline := base() // 0 allocs/op
+	cur := baseline
+	cur.AllocsPerOp = 1
+	if err := Compare(baseline, cur, 0.10); err == nil {
+		t.Fatal("a single alloc/op passed a zero-alloc baseline")
+	} else if !strings.Contains(err.Error(), "alloc") {
+		t.Fatalf("alloc error does not name allocations: %v", err)
+	}
+	// Equal (even nonzero) alloc counts pass.
+	baseline.AllocsPerOp, cur.AllocsPerOp = 2, 2
+	if err := Compare(baseline, cur, 0.10); err != nil {
+		t.Fatalf("equal allocs failed: %v", err)
+	}
+}
+
+func TestCompareRefusesMismatchedConfig(t *testing.T) {
+	baseline := base()
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Result)
+	}{
+		{"mode", func(r *Result) { r.Mode = "full" }},
+		{"workers", func(r *Result) { r.Workers = 4 }},
+		{"policy", func(r *Result) { r.Policy = "Kitsune" }},
+		{"trace", func(r *Result) { r.Trace = "campus" }},
+	} {
+		cur := baseline
+		tc.mutate(&cur)
+		if err := Compare(baseline, cur, 0.10); err == nil {
+			t.Errorf("%s mismatch compared without error", tc.name)
+		}
+	}
+}
+
+func TestTrajectoryNumbering(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir); err == nil {
+		t.Fatal("Latest on an empty dir did not error")
+	}
+	p1, err := NextPath(dir)
+	if err != nil || filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first NextPath = %q, %v", p1, err)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_3.json", "BENCH_x.json", "notes.txt"} {
+		if err := Save(filepath.Join(dir, name), base()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err := Latest(dir)
+	if err != nil || filepath.Base(latest) != "BENCH_3.json" {
+		t.Fatalf("Latest = %q, %v; want BENCH_3.json", latest, err)
+	}
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_4.json" {
+		t.Fatalf("NextPath = %q, %v; want BENCH_4.json", next, err)
+	}
+}

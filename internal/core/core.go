@@ -405,11 +405,20 @@ func (fe *SuperFE) Process(p *packet.Packet) bool {
 }
 
 // processKeyed is Process with the CG key and hash precomputed by the
-// parallel engine's router.
+// caller.
 //
 //superfe:hotpath
 func (fe *SuperFE) processKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
 	return fe.sw.ProcessKeyed(p, cgKey, hash)
+}
+
+// processColumns runs one columnar batch — keys, hashes, filter
+// verdicts and metadata fields pre-computed by the parallel engine's
+// router — through the deployed extractor.
+//
+//superfe:hotpath
+func (fe *SuperFE) processColumns(c *switchsim.Columns) {
+	fe.sw.ProcessColumns(c)
 }
 
 // Flush drains the switch cache and emits per-group feature vectors.

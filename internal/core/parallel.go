@@ -22,9 +22,9 @@ type ParallelOptions struct {
 	// by one goroutine — the analogue of NIC cores fed by the NBI
 	// distributor.
 	Workers int
-	// BatchSize is the number of packets handed to a shard per
-	// channel operation; batching amortizes the synchronization cost
-	// the way the MGPV batches amortize the switch→NIC channel.
+	// BatchSize is the number of packets in one columnar batch handed
+	// to a shard per ring slot; batching amortizes the synchronization
+	// cost the way the MGPV batches amortize the switch→NIC channel.
 	BatchSize int
 	// QueueDepth is the number of batches that may be in flight per
 	// shard before Process applies backpressure.
@@ -32,8 +32,9 @@ type ParallelOptions struct {
 	// DeterministicMerge buffers each shard's vectors and emits them
 	// in shard order at Flush, making the output sequence
 	// deterministic run-to-run (each shard's own stream already is).
-	// Without it vectors stream to the sink as produced, serialised
-	// by a mutex but interleaved nondeterministically.
+	// Without it vectors stream to the sink as produced — buffered in
+	// small shard-local runs and flushed under one lock acquisition
+	// per run, interleaved nondeterministically across shards.
 	DeterministicMerge bool
 }
 
@@ -51,39 +52,43 @@ func DefaultParallelOptions() ParallelOptions {
 	}
 }
 
-// batch is one unit of router→shard hand-off: the packets plus their
-// router-computed CG keys and hashes (the shard's switch reuses them
-// instead of rehashing — §6.2's hash-reuse optimization applied one
-// hop earlier). Batches are recycled through each shard's free list,
-// so the steady state allocates nothing.
-type batch struct {
-	pkts   []*packet.Packet
-	keys   []flowkey.Key
-	hashes []uint32
-}
+// sinkRunLen is the shard-local vector run buffered between shared-sink
+// flushes in streaming (non-DeterministicMerge) mode: one lock
+// acquisition per run instead of per vector.
+const sinkRunLen = 64
 
-func (b *batch) reset() {
-	b.pkts = b.pkts[:0]
-	b.keys = b.keys[:0]
-	b.hashes = b.hashes[:0]
-}
-
-// shardMsg is one message on a shard's input channel: either a batch
-// of packets or a control barrier (with optional flush).
+// shardMsg is one ring slot on a shard's input ring: either a columnar
+// batch of packets or a control barrier (with optional flush). The
+// recycle ring reuses the same slot type carrying only cols.
 type shardMsg struct {
-	b     *batch
+	cols  *switchsim.Columns
 	ctl   chan<- struct{} // non-nil: acknowledge after processing
 	flush bool            // with ctl: flush the shard's switch+NIC first
 }
 
+// pendingVec is one run-buffered vector in streaming mode: values live
+// in the shard's reusable arena (offset+length), so buffering a run
+// allocates nothing in the steady state.
+type pendingVec struct {
+	key flowkey.Key
+	ts  int64
+	off int
+	n   int
+}
+
 // pshard is one worker-owned switch+NIC pair.
 type pshard struct {
+	eng  *ParallelEngine
 	fe   *SuperFE
-	in   chan shardMsg
-	free chan *batch
-	cur  *batch // router-side batch being filled
-	vecs []feature.Vector
-	done chan struct{}
+	in   *spscRing // router → worker: batches and control barriers
+	free *spscRing // worker → router: recycled batch columns
+	cur  *switchsim.Columns
+	vecs []feature.Vector // DeterministicMerge buffer
+	// Streaming-mode run buffer: emitted vectors accumulate here and
+	// flush to the shared sink in one lock acquisition per run.
+	pend     []pendingVec
+	pendVals []float64
+	done     chan struct{}
 }
 
 // ParallelEngine is a sharded SuperFE deployment — the software
@@ -91,33 +96,40 @@ type pshard struct {
 // prototype distributes work across the Tofino pipeline plus the
 // NFP-4000's islands × cores × 8 threads, with the ingress NBI
 // sharding flows per-IP so cores share no state (§6.2).
-// ParallelEngine reproduces that shape on host cores: packets are
-// sharded by coarsest-granularity key hash across Workers independent
-// switch+NIC pairs, each owned by one worker goroutine and fed
-// through batched, buffer-recycling channels, so shards run without
-// locks and the hot path performs no steady-state allocations.
+// ParallelEngine reproduces that shape on host cores: the router
+// parses each packet once — CG key, key hash, filter verdict, batched
+// metadata fields — into columnar batches, shards them by CG-hash
+// fastrange across Workers independent switch+NIC pairs, and hands
+// batches over lock-free SPSC rings with spin-then-park blocking, so
+// shards run without locks and the hot path performs no steady-state
+// allocations. The ingress-computed hash rides the columns into the
+// switch's slot indexing, the NIC's grouping, fault scoping and
+// tracer sampling — §6.2's hash-reuse trick applied end-to-end.
 //
 // Process routes packets; Flush drains; the stats methods merge shard
 // counters. Process and Flush must be called from one goroutine (the
 // router), exactly like the sequential engine.
 type ParallelEngine struct {
-	opts   ParallelOptions
-	plan   *policy.Plan
-	pred   policy.Predicate
-	cg     flowkey.Granularity
-	shards []*pshard
-	sink   feature.Sink
-	sinkMu sync.Mutex
-	closed bool
+	opts       ParallelOptions
+	plan       *policy.Plan
+	pred       policy.Predicate
+	cg         flowkey.Granularity
+	metaFields []packet.FieldName
+	shards     []*pshard
+	sink       feature.Sink
+	sinkMu     sync.Mutex
+	closed     bool
 
-	// Router-level telemetry (nil when Options.Obs is disabled): a
-	// small registry of per-shard routing counters — the packet skew
-	// the CG-hash sharding produces — appended after the merged shard
+	// Router-level telemetry (obsEnabled false when Options.Obs is
+	// disabled, making the disabled hot path a single branch): a small
+	// registry of per-shard routing counters — the packet skew the
+	// CG-hash sharding produces — appended after the merged shard
 	// registries in every snapshot, plus the engine's interval
 	// recorder (ticked per routed packet, captured at a barrier).
-	obsReg    *obs.Registry
-	shardPkts []obs.Counter
-	rec       *obs.Recorder
+	obsEnabled bool
+	obsReg     *obs.Registry
+	shardPkts  []obs.Counter
+	rec        *obs.Recorder
 }
 
 // NewParallel compiles the policy once and deploys it on Workers
@@ -142,16 +154,19 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		return nil, fmt.Errorf("core: compile %q: %w", pol.Name(), err)
 	}
 	e := &ParallelEngine{
-		opts: opts,
-		plan: plan,
-		pred: plan.Switch.Pred,
-		cg:   plan.Switch.CG,
-		sink: sink,
+		opts:       opts,
+		plan:       plan,
+		pred:       plan.Switch.Pred,
+		cg:         plan.Switch.CG,
+		metaFields: plan.Switch.MetadataFields,
+		sink:       sink,
 	}
+	nf := len(plan.Switch.MetadataFields)
 	for i := 0; i < opts.Workers; i++ {
 		sh := &pshard{
-			in:   make(chan shardMsg, opts.QueueDepth),
-			free: make(chan *batch, opts.QueueDepth+1),
+			eng:  e,
+			in:   newSPSCRing(opts.QueueDepth, 0),
+			free: newSPSCRing(opts.QueueDepth+1, 0),
 			done: make(chan struct{}),
 		}
 		var shardSink feature.Sink
@@ -160,24 +175,21 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 			// order at Flush.
 			shardSink = feature.Collect(&sh.vecs)
 		} else {
-			shardSink = func(v feature.Vector) {
-				e.sinkMu.Lock()
-				e.sink(v)
-				e.sinkMu.Unlock()
-			}
+			shardSink = sh.bufferVec
 		}
 		sh.fe, err = newFromPlan(opts.Options, plan, i, shardSink)
 		if err != nil {
 			e.stop()
 			return nil, err
 		}
-		// Pre-size the recycled batches: one being filled by the
-		// router, QueueDepth in flight or free.
-		sh.cur = newBatch(opts.BatchSize)
+		// Pre-size the recycled columnar batches: one being filled by
+		// the router, QueueDepth in flight or on the recycle ring.
+		sh.cur = switchsim.NewColumns(opts.BatchSize, nf)
 		for j := 0; j < opts.QueueDepth; j++ {
-			sh.free <- newBatch(opts.BatchSize)
+			sh.free.push(shardMsg{cols: switchsim.NewColumns(opts.BatchSize, nf)})
 		}
 		e.shards = append(e.shards, sh)
+		//superfe:goroutine-ok shard worker: exits when stop() closes its input ring (pop returns ok=false) and is joined via sh.done
 		go sh.run()
 	}
 	if opts.Obs.Enabled {
@@ -185,6 +197,7 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		// the packet skew of the CG-hash sharding. Kept separate from
 		// the shard registries (whose schemas must stay identical for
 		// the flat-array merge) and appended to every snapshot.
+		e.obsEnabled = true
 		e.obsReg = obs.NewRegistry()
 		e.shardPkts = make([]obs.Counter, opts.Workers)
 		for i := range e.shardPkts {
@@ -219,32 +232,61 @@ func (e *ParallelEngine) mergedSnapshot() *obs.Snapshot {
 	return merged
 }
 
-func newBatch(n int) *batch {
-	return &batch{
-		pkts:   make([]*packet.Packet, 0, n),
-		keys:   make([]flowkey.Key, 0, n),
-		hashes: make([]uint32, 0, n),
-	}
-}
-
-// run is the shard worker loop: drain batches, honour barriers.
+// run is the shard worker loop: drain batches from the input ring,
+// honour barriers, recycle consumed batches on the free ring.
 func (sh *pshard) run() {
 	defer close(sh.done)
-	for msg := range sh.in {
+	for {
+		msg, ok := sh.in.pop()
+		if !ok {
+			return
+		}
 		if msg.ctl != nil {
 			if msg.flush {
 				sh.fe.Flush()
 			}
+			// Barrier contract: every vector produced so far is at the
+			// shared sink when the ack lands.
+			sh.flushPending()
 			msg.ctl <- struct{}{}
 			continue
 		}
-		b := msg.b
-		for i, p := range b.pkts {
-			sh.fe.processKeyed(p, b.keys[i], b.hashes[i])
-		}
-		b.reset()
-		sh.free <- b
+		sh.fe.processColumns(msg.cols)
+		msg.cols.Reset()
+		sh.free.push(shardMsg{cols: msg.cols})
 	}
+}
+
+// bufferVec is the streaming-mode shard sink: it copies the vector
+// into the shard-local arena and flushes a full run to the shared sink
+// under one lock acquisition. Values are arena-backed, so the sink
+// contract (do not retain without copying) is unchanged.
+//
+//superfe:hotpath
+func (sh *pshard) bufferVec(v feature.Vector) {
+	off := len(sh.pendVals)
+	sh.pendVals = append(sh.pendVals, v.Values...)
+	sh.pend = append(sh.pend, pendingVec{key: v.Key, ts: v.Timestamp, off: off, n: len(v.Values)})
+	if len(sh.pend) >= sinkRunLen {
+		sh.flushPending()
+	}
+}
+
+// flushPending emits the shard's buffered run to the shared sink under
+// a single lock acquisition, then resets the arena for reuse.
+func (sh *pshard) flushPending() {
+	if len(sh.pend) == 0 {
+		return
+	}
+	e := sh.eng
+	e.sinkMu.Lock()
+	for i := range sh.pend {
+		p := &sh.pend[i]
+		e.sink(feature.Vector{Key: p.key, Timestamp: p.ts, Values: sh.pendVals[p.off : p.off+p.n]})
+	}
+	e.sinkMu.Unlock()
+	sh.pend = sh.pend[:0]
+	sh.pendVals = sh.pendVals[:0]
 }
 
 // shardIndex maps a key hash onto a shard with a multiply-shift
@@ -256,9 +298,12 @@ func shardIndex(h uint32, n int) int {
 	return int((uint64(h) * uint64(n)) >> 32)
 }
 
-// Process routes one packet to its shard, handing off a batch when
-// full. It returns whether the packet passes the policy filter (the
-// same decision the shard's switch will make).
+// Process routes one packet to its shard: it computes the CG key and
+// hash once, evaluates the policy filter once, and appends everything
+// the shard needs — including the batched metadata field values — to
+// the shard's current columnar batch, dispatching over the ring when
+// full. It returns the filter verdict (the same decision the shard's
+// switch will account, without re-evaluating the predicate).
 //
 //superfe:hotpath
 func (e *ParallelEngine) Process(p *packet.Packet) bool {
@@ -266,36 +311,38 @@ func (e *ParallelEngine) Process(p *packet.Packet) bool {
 	h := flowkey.HashKey(key)
 	si := shardIndex(h, len(e.shards))
 	sh := e.shards[si]
-	b := sh.cur
-	b.pkts = append(b.pkts, p)
-	b.keys = append(b.keys, key)
-	b.hashes = append(b.hashes, h)
-	if len(b.pkts) >= e.opts.BatchSize {
+	pass := e.pred.Eval(p)
+	sh.cur.Append(p, key, h, pass, e.metaFields)
+	if sh.cur.N >= e.opts.BatchSize {
 		e.dispatch(sh)
 	}
-	if e.shardPkts != nil {
+	if e.obsEnabled {
 		e.shardPkts[si].Inc()
+		e.rec.Tick()
 	}
-	e.rec.Tick()
-	return e.pred.Eval(p)
+	return pass
 }
 
-// dispatch hands the shard's current batch to its worker and pulls a
-// recycled one from the free list (blocking = backpressure).
+// dispatch hands the shard's current batch to its worker over the
+// input ring and pulls a recycled one from the free ring (blocking =
+// backpressure).
+//
+//superfe:hotpath
 func (e *ParallelEngine) dispatch(sh *pshard) {
-	sh.in <- shardMsg{b: sh.cur}
-	sh.cur = <-sh.free
+	sh.in.push(shardMsg{cols: sh.cur})
+	m, _ := sh.free.pop() // never closed: always ok
+	sh.cur = m.cols
 }
 
 // barrier dispatches partial batches and waits until every shard has
-// drained its queue (optionally flushing shard state first).
+// drained its ring (optionally flushing shard state first).
 func (e *ParallelEngine) barrier(flush bool) {
 	ack := make(chan struct{}, len(e.shards))
 	for _, sh := range e.shards {
-		if len(sh.cur.pkts) > 0 {
+		if sh.cur.N > 0 {
 			e.dispatch(sh)
 		}
-		sh.in <- shardMsg{ctl: ack, flush: flush}
+		sh.in.push(shardMsg{ctl: ack, flush: flush})
 	}
 	for range e.shards {
 		<-ack
@@ -345,7 +392,7 @@ func (e *ParallelEngine) Close() error {
 // path, where later shards may not exist yet).
 func (e *ParallelEngine) stop() {
 	for _, sh := range e.shards {
-		close(sh.in)
+		sh.in.close()
 	}
 	for _, sh := range e.shards {
 		<-sh.done

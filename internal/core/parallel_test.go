@@ -1,14 +1,19 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"superfe/internal/apps"
 	"superfe/internal/feature"
+	"superfe/internal/flowkey"
 	"superfe/internal/gpv"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
 	"superfe/internal/trace"
 )
 
@@ -293,5 +298,185 @@ func TestDeliverRecordsWireError(t *testing.T) {
 	fe.deliver(bad)
 	if fe.Err() != first {
 		t.Error("first error not preserved")
+	}
+}
+
+// referenceRun is a test-local channel-based reimplementation of the
+// sharded engine — the shape the ring-based hand-off replaced: one
+// goroutine per shard fed whole packets over a buffered Go channel,
+// with the same CG-hash fastrange routing. Its shard-ordered output is
+// the differential oracle for the SPSC-ring engine.
+func referenceRun(t *testing.T, tr *trace.Trace, workers int) []feature.Vector {
+	t.Helper()
+	plan, err := policy.Compile(apps.NPOD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chans := make([]chan *packet.Packet, workers)
+	vecs := make([][]feature.Vector, workers)
+	fes := make([]*SuperFE, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		chans[i] = make(chan *packet.Packet, 1024)
+		fes[i], err = newFromPlan(DefaultOptions(), plan, i, feature.Collect(&vecs[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		//superfe:goroutine-ok test helper: joined via wg.Wait below
+		go func(i int) {
+			defer wg.Done()
+			for p := range chans[i] {
+				fes[i].Process(p)
+			}
+			fes[i].Flush()
+		}(i)
+	}
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		key, _ := flowkey.KeyFor(plan.Switch.CG, p.Tuple)
+		chans[shardIndex(flowkey.HashKey(key), workers)] <- p
+	}
+	for i := range chans {
+		close(chans[i])
+	}
+	wg.Wait()
+	var out []feature.Vector
+	for i := range vecs {
+		out = append(out, vecs[i]...)
+	}
+	return out
+}
+
+// renderVectors is the order-sensitive sibling of vectorMultiset: the
+// exact emission sequence, bit-exact values.
+func renderVectors(vecs []feature.Vector) []string {
+	out := make([]string, 0, len(vecs))
+	var sb strings.Builder
+	for _, v := range vecs {
+		sb.Reset()
+		sb.WriteString(v.Key.String())
+		for _, x := range v.Values {
+			sb.WriteByte('|')
+			sb.WriteString(strconv.FormatFloat(x, 'x', -1, 64))
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+// TestParallelRingDifferential is the hand-off rework's differential
+// proof: across batch sizes and ring depths chosen to force ring
+// wrap-around and park/wake on both sides (BatchSize=1 dispatches per
+// packet; QueueDepth=1 is a one-slot ring), the ring engine's
+// DeterministicMerge output must be byte-identical to the
+// channel-based reference — same vectors, same order, bit-exact
+// values — and identical across the configurations themselves.
+func TestParallelRingDifferential(t *testing.T) {
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 250
+	tr := trace.Generate(cfg, 23)
+	const workers = 3
+	want := renderVectors(referenceRun(t, tr, workers))
+	if len(want) == 0 {
+		t.Fatal("reference run emitted no vectors")
+	}
+	for _, tc := range []struct{ batch, depth int }{
+		{1, 1}, {1, 4}, {7, 1}, {64, 2}, {256, 4},
+	} {
+		t.Run(fmt.Sprintf("batch=%d/depth=%d", tc.batch, tc.depth), func(t *testing.T) {
+			var vecs []feature.Vector
+			popts := DefaultParallelOptions()
+			popts.Workers = workers
+			popts.BatchSize = tc.batch
+			popts.QueueDepth = tc.depth
+			popts.DeterministicMerge = true
+			pe, err := NewParallel(popts, apps.NPOD(), feature.Collect(&vecs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tr.Packets {
+				pe.Process(&tr.Packets[i])
+			}
+			if err := pe.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pe.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got := renderVectors(vecs)
+			if len(got) != len(want) {
+				t.Fatalf("vector count %d, reference %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("output diverges from channel reference at vector %d:\n  ring      %s\n  reference %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelStreamingRunBufferMatches checks the streaming
+// (non-deterministic-merge) sink path with run-buffering enabled:
+// partial runs must flush at every barrier, the multiset must match
+// DeterministicMerge's, and no vector may arrive after Flush returns.
+func TestParallelStreamingRunBufferMatches(t *testing.T) {
+	cfg := trace.EnterpriseConfig
+	cfg.Flows = 180
+	tr := trace.Generate(cfg, 31)
+
+	var detVecs []feature.Vector
+	popts := DefaultParallelOptions()
+	popts.Workers = 3
+	popts.DeterministicMerge = true
+	pe, err := NewParallel(popts, apps.NPOD(), feature.Collect(&detVecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		pe.Process(&tr.Packets[i])
+	}
+	if err := pe.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var streamVecs []feature.Vector
+	var afterFlush bool
+	popts.DeterministicMerge = false
+	pe2, err := NewParallel(popts, apps.NPOD(), func(v feature.Vector) {
+		if afterFlush {
+			t.Error("vector emitted after Flush returned")
+		}
+		// Copy: streaming vectors are arena-backed and reused.
+		cp := v
+		cp.Values = append([]float64(nil), v.Values...)
+		streamVecs = append(streamVecs, cp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Packets {
+		pe2.Process(&tr.Packets[i])
+	}
+	if err := pe2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	afterFlush = true
+	if err := pe2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dm, sm := vectorMultiset(t, detVecs), vectorMultiset(t, streamVecs)
+	if len(dm) != len(sm) {
+		t.Fatalf("vector counts: deterministic %d vs streaming %d", len(dm), len(sm))
+	}
+	for i := range dm {
+		if dm[i] != sm[i] {
+			t.Fatalf("streaming run-buffer multiset diverges at %d", i)
+		}
 	}
 }

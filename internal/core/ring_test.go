@@ -1,0 +1,210 @@
+package core
+
+// SPSC ring property tests: FIFO order, wrap-around, full/empty
+// boundary behaviour, close semantics, and park/wake liveness with a
+// tiny spin budget so both sides exercise the futex-style slow path.
+// The concurrent tests are the interesting ones under -race: the
+// ring's only synchronization is the atomic head/tail protocol.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"superfe/internal/switchsim"
+)
+
+// ringMsg tags a message with a sequence number via the batch's public
+// row counter, so order is observable on the pop side.
+func ringMsg(i int) shardMsg { return shardMsg{cols: &switchsim.Columns{N: i}} }
+
+func ringSeq(m shardMsg) int { return m.cols.N }
+
+func TestRingCapacityRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ req, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {9, 16},
+	} {
+		if got := newSPSCRing(tc.req, 0).cap(); got != tc.want {
+			t.Errorf("capacity %d rounded to %d, want %d", tc.req, got, tc.want)
+		}
+	}
+}
+
+// TestRingFIFOWrapAround cycles a small ring far past its capacity on
+// one goroutine: every pop must return the oldest push, across many
+// index wraps.
+func TestRingFIFOWrapAround(t *testing.T) {
+	r := newSPSCRing(3, 0) // rounds to 4 slots
+	next := 0
+	for cycle := 0; cycle < 100; cycle++ {
+		for i := 0; i < r.cap(); i++ {
+			r.push(ringMsg(cycle*r.cap() + i))
+		}
+		for i := 0; i < r.cap(); i++ {
+			m, ok := r.pop()
+			if !ok {
+				t.Fatal("pop returned closed on an open ring")
+			}
+			if ringSeq(m) != next {
+				t.Fatalf("cycle %d: popped %d, want %d", cycle, ringSeq(m), next)
+			}
+			next++
+		}
+	}
+}
+
+// TestRingFullBlocksUntilPop pins the full boundary: capacity pushes
+// complete immediately, the capacity+1-th blocks until the consumer
+// makes room.
+func TestRingFullBlocksUntilPop(t *testing.T) {
+	r := newSPSCRing(2, 1)
+	r.push(ringMsg(0))
+	r.push(ringMsg(1)) // full, but must not block
+	pushed := make(chan struct{})
+	//superfe:goroutine-ok test helper: joined via the pushed channel below
+	go func() {
+		r.push(ringMsg(2)) // blocks until a slot frees
+		close(pushed)
+	}()
+	select {
+	case <-pushed:
+		t.Fatal("push into a full ring returned before any pop")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if m, ok := r.pop(); !ok || ringSeq(m) != 0 {
+		t.Fatalf("pop = %v,%v; want seq 0", m, ok)
+	}
+	select {
+	case <-pushed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked push not woken by pop")
+	}
+	for want := 1; want <= 2; want++ {
+		if m, ok := r.pop(); !ok || ringSeq(m) != want {
+			t.Fatalf("pop = %v,%v; want seq %d", m, ok, want)
+		}
+	}
+}
+
+// TestRingEmptyBlocksUntilPush pins the empty boundary: pop parks on
+// an empty ring and wakes on the next publish.
+func TestRingEmptyBlocksUntilPush(t *testing.T) {
+	r := newSPSCRing(4, 1)
+	got := make(chan int, 1)
+	//superfe:goroutine-ok test helper: joined via the got channel below
+	go func() {
+		m, ok := r.pop()
+		if !ok {
+			got <- -1
+			return
+		}
+		got <- ringSeq(m)
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("pop on an empty ring returned %d before any push", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.push(ringMsg(7))
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("woken pop returned %d, want 7", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked pop not woken by push")
+	}
+}
+
+// TestRingCloseSemantics: close lets the consumer drain the residue,
+// then pop reports ok=false forever; slots are cleared on pop so no
+// batch reference is retained.
+func TestRingCloseSemantics(t *testing.T) {
+	r := newSPSCRing(4, 1)
+	for i := 0; i < 3; i++ {
+		r.push(ringMsg(i))
+	}
+	r.close()
+	for i := 0; i < 3; i++ {
+		m, ok := r.pop()
+		if !ok || ringSeq(m) != i {
+			t.Fatalf("drain pop %d = %v,%v", i, m, ok)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := r.pop(); ok {
+			t.Fatal("pop on a closed drained ring returned ok")
+		}
+	}
+	for i := range r.slots {
+		if r.slots[i].cols != nil {
+			t.Fatalf("slot %d retains a batch reference after pop", i)
+		}
+	}
+}
+
+// TestRingCloseWakesParkedConsumer: a consumer parked on an empty ring
+// must observe a concurrent close and exit rather than sleep forever.
+func TestRingCloseWakesParkedConsumer(t *testing.T) {
+	r := newSPSCRing(2, 1)
+	done := make(chan bool, 1)
+	//superfe:goroutine-ok test helper: joined via the done channel below
+	go func() {
+		_, ok := r.pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	r.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("pop on a closed empty ring returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake the parked consumer")
+	}
+}
+
+// TestRingParkWakeLiveness is the concurrent stress: a tiny ring and a
+// one-poll spin budget force both sides through the park/wake slow
+// path constantly. FIFO order must hold end to end and neither side
+// may lose a wakeup (the test would time out). Run under -race this
+// also checks the slot hand-off is properly published.
+func TestRingParkWakeLiveness(t *testing.T) {
+	const total = 20000
+	r := newSPSCRing(2, 1)
+	done := make(chan error, 1)
+	//superfe:goroutine-ok test helper: joined via the done channel below
+	go func() {
+		for i := 0; i < total; i++ {
+			m, ok := r.pop()
+			if !ok {
+				done <- errSeq("ring closed early at", i)
+				return
+			}
+			if ringSeq(m) != i {
+				done <- errSeq("out of order at", i)
+				return
+			}
+		}
+		if _, ok := r.pop(); ok {
+			done <- errSeq("extra message after", total)
+			return
+		}
+		done <- nil
+	}()
+	for i := 0; i < total; i++ {
+		r.push(ringMsg(i))
+	}
+	r.close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("park/wake liveness stress timed out (lost wakeup?)")
+	}
+}
+
+func errSeq(msg string, i int) error { return fmt.Errorf("%s %d", msg, i) }

@@ -80,3 +80,69 @@ func notOnHotPath(p *Pkt) {
 func AppendParam(dst []int, x int) []int {
 	return append(dst, x)
 }
+
+// --- SPSC-ring / columnar-batch shapes (the parallel engine's
+// hand-off idioms): indexed writes into pre-sized columns and ring
+// slots are allocation-free and must pass; the tempting shortcuts
+// (rebuilding a batch, formatting a label per packet) must not.
+
+// Batch models a columnar scratch with pre-sized parallel arrays.
+type Batch struct {
+	N    int
+	Keys []uint64
+	Vals []int
+}
+
+// Ring models an SPSC slot array with a wake channel.
+type Ring struct {
+	slots []Batch
+	mask  uint64
+	tail  uint64
+	wake  chan struct{}
+}
+
+// AppendRow is the columnar append: indexed writes only, no growth.
+//
+//superfe:hotpath
+func (b *Batch) AppendRow(k uint64, v int) {
+	b.Keys[b.N] = k // indexed write into a pre-sized column: fine
+	b.Vals[b.N] = v
+	b.N++
+}
+
+// Push is the ring publish: slot write, counter bump, non-blocking
+// wake. None of it allocates.
+//
+//superfe:hotpath
+func (r *Ring) Push(b Batch, s Sink) {
+	r.slots[r.tail&r.mask] = b // slot write: fine
+	r.tail++
+	select {
+	case r.wake <- struct{}{}: // non-blocking token send: fine
+	default:
+	}
+	_ = fmt.Sprintf("ring depth %d", r.tail) // want `calls fmt\.Sprintf`
+	s.Write(r.tail)                          // want `boxes a uint64 into an interface parameter`
+	r.pushSlow()
+}
+
+// pushSlow is the park path: amortized, so the closure for the retry
+// loop is acceptable there.
+//
+//superfe:coldpath
+func (r *Ring) pushSlow() {
+	retry := func() bool { return r.tail&r.mask == 0 } // allowed: coldpath
+	for !retry() {
+	}
+}
+
+// rebatch shows the tempting mistake the columnar design avoids:
+// rebuilding the batch's columns per dispatch instead of recycling
+// pre-sized ones through the free ring.
+//
+//superfe:hotpath
+func rebatch(n int) Batch {
+	var keys []uint64
+	keys = append(keys, uint64(n)) // want `appends to keys, a local declared without capacity`
+	return Batch{Keys: keys}
+}

@@ -41,6 +41,21 @@ type Runtime struct {
 	obs           *obs.NICObs
 	cyclesPerCell float64
 
+	// tsPos is the position of the timestamp metadata within cell
+	// Values (-1 when not batched), resolved once so the per-cell path
+	// never scans the plan's field list.
+	tsPos int
+
+	// Per-program group memo for the cell loop: consecutive cells of
+	// one MGPV mostly resolve to the same group at each granularity
+	// (always, at the CG — every cell of an MGPV shares its CG group),
+	// so the hot path compares the projected key against the last one
+	// and skips the map lookup on a hit. Reset per MGPV; a memo entry
+	// is only ever a group already present in the map, so admission
+	// (and its injected EMEM failures) is byte-for-byte unchanged.
+	memoKeys   []flowkey.Key
+	memoGroups []*group
+
 	// inj mirrors cfg.Faults (nil when injection is disabled).
 	inj *faults.Injector
 
@@ -191,6 +206,12 @@ func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, err
 		}
 		r.programs = append(r.programs, pr)
 	}
+	r.tsPos = -1
+	if pos, ok := fieldPos[packet.FieldTimestamp]; ok {
+		r.tsPos = pos
+	}
+	r.memoKeys = make([]flowkey.Key, len(r.programs))
+	r.memoGroups = make([]*group, len(r.programs))
 	if cfg.Obs != nil {
 		r.obs = cfg.Obs
 		// Price the plan once with the architectural cost model so the
@@ -409,6 +430,12 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 		}
 	}
 	single := len(r.programs) == 1 && r.plan.Switch.CG == r.plan.Switch.FG
+	// Reset the per-program group memo: entries never cross MGPVs, so
+	// Flush-time deletions or map growth between messages cannot leave
+	// a stale pointer behind.
+	for i := range r.memoGroups {
+		r.memoGroups[i] = nil
+	}
 	for ci := range v.Cells {
 		cell := &v.Cells[ci]
 		r.stats.Cells++
@@ -437,21 +464,30 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 		perPacketVals := r.ppVals[:0]
 		perPacketEmit := false
 		var fgGroup *group
-		for _, pr := range r.programs {
+		for pi, pr := range r.programs {
 			key, fwd := flowkey.KeyFor(pr.gran, tuple)
-			g, ok := r.groups[key]
-			if !ok {
-				// Transient EMEM allocation failure: group admission
-				// loses the allocator race and this cell's contribution
-				// to this granularity is dropped; the group's next cell
-				// retries the admission naturally. Scoped by the MGPV's
-				// switch-computed CG hash, like the wire faults.
-				if r.inj.EMEMFail(v.Hash) {
-					r.stats.EMEMDrops++
-					continue
+			// Memo hit: the previous cell of this MGPV resolved the
+			// same group at this granularity (guaranteed at the CG,
+			// overwhelmingly common at coarser intermediate levels).
+			g := r.memoGroups[pi]
+			if g == nil || r.memoKeys[pi] != key {
+				var ok bool
+				g, ok = r.groups[key]
+				if !ok {
+					// Transient EMEM allocation failure: group admission
+					// loses the allocator race and this cell's contribution
+					// to this granularity is dropped; the group's next cell
+					// retries the admission naturally. Scoped by the MGPV's
+					// switch-computed CG hash, like the wire faults.
+					if r.inj.EMEMFail(v.Hash) {
+						r.stats.EMEMDrops++
+						continue
+					}
+					g = r.newGroup(pr, key)
+					r.groups[key] = g
 				}
-				g = r.newGroup(pr, key)
-				r.groups[key] = g
+				r.memoKeys[pi] = key
+				r.memoGroups[pi] = g
 			}
 			if pr.gran == r.plan.Switch.FG {
 				fgGroup = g
@@ -462,7 +498,9 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 		}
 		if perPacketEmit {
 			fgKey, _ := flowkey.KeyFor(r.plan.Switch.FG, tuple)
-			r.emitVector(fgKey, fgGroup, r.cellTimestamp(cell), perPacketVals)
+			// The MGPV's switch-computed CG hash scopes the tracer
+			// sampling decision — no rehash on the emit path (§6.2).
+			r.emitVector(fgKey, fgGroup, r.cellTimestamp(cell), perPacketVals, v.CG, v.Hash)
 		}
 		r.ppVals = perPacketVals[:0] // retain the backing array for the next cell
 	}
@@ -470,10 +508,8 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 
 // cellTimestamp extracts the timestamp metadata if batched, else 0.
 func (r *Runtime) cellTimestamp(cell *gpv.Cell) int64 {
-	for i, f := range r.plan.Switch.MetadataFields {
-		if f == packet.FieldTimestamp {
-			return int64(cell.Values[i])
-		}
+	if r.tsPos >= 0 {
+		return int64(cell.Values[r.tsPos])
 	}
 	return 0
 }
@@ -484,10 +520,8 @@ func (r *Runtime) cellTimestamp(cell *gpv.Cell) int64 {
 func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst []float64) ([]float64, bool) {
 	env := pr.env // reused across cells; every slot is written before it is read
 	ts := uint32(0)
-	for i, f := range r.plan.Switch.MetadataFields {
-		if f == packet.FieldTimestamp {
-			ts = cell.Values[i]
-		}
+	if r.tsPos >= 0 {
+		ts = cell.Values[r.tsPos]
 	}
 	for i := range pr.instrs {
 		ins := &pr.instrs[i]
@@ -584,8 +618,11 @@ func (r *Runtime) appendSnapshot(dst []float64, g *group, em emitSpec) []float64
 
 // emitVector hands a vector to the sink. g is the emitting FG group
 // (nil when its granularity had no state), used for the emit-latency
-// histogram and the tracer's vector-emit event.
-func (r *Runtime) emitVector(key flowkey.Key, g *group, ts int64, vals []float64) {
+// histogram and the tracer's vector-emit event. cgKey/cgHash identify
+// the flow's CG group for tracer sampling: the per-packet path passes
+// the MGPV's switch-computed values straight through (§6.2 hash
+// reuse); only the cold Flush path derives them by projection.
+func (r *Runtime) emitVector(key flowkey.Key, g *group, ts int64, vals []float64, cgKey flowkey.Key, cgHash uint32) {
 	r.stats.Vectors++
 	if o := r.obs; o != nil {
 		o.Vectors.Inc()
@@ -595,8 +632,7 @@ func (r *Runtime) emitVector(key flowkey.Key, g *group, ts int64, vals []float64
 		if t := o.Tracer; t != nil {
 			// Record under the CG key so the event joins the flow's
 			// switch-side admit/evict events in one timeline.
-			cgKey := flowkey.Project(r.plan.Switch.CG, key.Tuple)
-			if t.Sampled(flowkey.HashKey(cgKey)) {
+			if t.Sampled(cgHash) {
 				t.Record(obs.EvVectorEmit, cgKey, r.stats.Cells, 0, uint16(len(vals)))
 			}
 		}
@@ -644,7 +680,8 @@ func (r *Runtime) Flush() {
 			}
 		}
 		if len(vals) > 0 {
-			r.emitVector(k, g, int64(g.lastTS), vals)
+			cgKey := flowkey.Project(r.plan.Switch.CG, k.Tuple)
+			r.emitVector(k, g, int64(g.lastTS), vals, cgKey, flowkey.HashKey(cgKey))
 		}
 	}
 }

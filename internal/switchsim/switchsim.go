@@ -278,8 +278,25 @@ func (s *Switch) ingress(p *packet.Packet) bool {
 	return true
 }
 
-// group batches one selected packet into its CG group's buffers.
+// group batches one selected packet into its CG group's buffers: it
+// extracts the batched metadata fields into the cell scratch and hands
+// the packet's tuple to groupCell.
 func (s *Switch) group(p *packet.Packet, cgKey flowkey.Key, hash uint32) {
+	cell := &s.cellScratch
+	cell.Values = cell.Values[:s.nvals]
+	for i, f := range s.plan.MetadataFields {
+		cell.Values[i] = uint32(p.Field(f))
+	}
+	s.groupCell(cgKey, hash, p.Tuple)
+}
+
+// groupCell batches the cell currently staged in cellScratch (metadata
+// values already loaded) into the CG group's buffers. The columnar
+// path calls it directly with pre-extracted values; the scalar path
+// goes through group.
+//
+//superfe:hotpath
+func (s *Switch) groupCell(cgKey flowkey.Key, hash uint32, tuple flowkey.FiveTuple) {
 	idx := int(hash % uint32(len(s.slots)))
 	sl := &s.slots[idx]
 
@@ -302,20 +319,14 @@ func (s *Switch) group(p *packet.Packet, cgKey flowkey.Key, hash uint32) {
 	}
 	sl.lastAccess = s.now
 
-	// Build the cell in the per-switch scratch (its Values array is
-	// reused every packet): batched metadata fields + FG index +
-	// direction. appendCell copies it into the group's buffers.
+	// Finish the staged cell: FG index + direction.
 	cell := &s.cellScratch
-	cell.Values = cell.Values[:s.nvals]
-	for i, f := range s.plan.MetadataFields {
-		cell.Values[i] = uint32(p.Field(f))
-	}
 	if !s.singleGran {
-		fgKey, fwd := s.fgKeyFor(p.Tuple)
+		fgKey, fwd := s.fgKeyFor(tuple)
 		cell.FGIndex = s.fgIndex(fgKey)
 		cell.Forward = fwd
 	} else if s.plan.NeedsDirection {
-		_, fwd := flowkey.KeyFor(s.plan.FG, p.Tuple)
+		_, fwd := flowkey.KeyFor(s.plan.FG, tuple)
 		cell.FGIndex = 0
 		cell.Forward = fwd
 	} else {
