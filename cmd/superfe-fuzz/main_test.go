@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke drives a tiny campaign through the real harness: it
+// must exit 0, report both verdict buckets in the summary, and write
+// nothing to the corpus.
+func TestRunSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-seed", "1", "-n", "12", "-flows", "30", "-corpus", ""}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	sum := stdout.String()
+	if !strings.Contains(sum, "12 case(s)") || !strings.Contains(sum, "0 failure(s)") {
+		t.Fatalf("unexpected summary: %q", sum)
+	}
+}
+
+// TestRunBadFlags pins the flag-error exit code.
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}

@@ -151,6 +151,10 @@ func run() int {
 			}
 		}
 	}
+	// Full-key sort: several analyzers can report at the same position,
+	// and map-driven traversal inside an analyzer may emit them in any
+	// order — the analyzer and message tiebreaks make the output (and
+	// the problem-matcher annotations CI diffs) byte-stable across runs.
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -159,7 +163,13 @@ func run() int {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		return a.Col < b.Col
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -199,6 +209,10 @@ var fixHints = map[string]string{
 	"atomicdiscipline": "access the field through sync/atomic everywhere (or guard all access with one mutex), pass lock-bearing structs by pointer, and waive single-threaded phases with //superfe:atomic-ok <reason>",
 	"goroutineleak":    "give the goroutine a shutdown edge — range over a channel that is closed, select on ctx.Done(), or signal a WaitGroup — or waive a process-lifetime worker with //superfe:goroutine-ok <reason>",
 	"sinkretention":    "copy borrowed slices before storing them (dst = append(dst[:0], src...)); the extractor reuses the backing array after the sink returns; waive owned-message topologies with //superfe:retain-ok <reason>",
+	"memmodelatomic":   "access the field through sync/atomic in every package that touches it; construction-phase writes through a function-local value are exempt, other single-threaded phases waive with //superfe:atomic-ok <reason>",
+	"memmodelrole":     "keep each SPSC sequence field written by exactly one side: move the write into a //superfe:producer or //superfe:consumer function (or annotate the writer with its real role)",
+	"memmodelpublish":  "publish slot payloads with store-index-then-release: write the slot, then store the sequence atomically; read the sequence atomically before reading the slot; waive externally-ordered sites with //superfe:publish-ok <reason>",
+	"memmodelpad":      "hold //superfe:padded structs by pointer everywhere (fields, slices, parameters) and make every pad a full _ [64]byte cache line",
 }
 
 // planEntry is one registered policy: the Table 3 catalog plus the
@@ -217,6 +231,14 @@ func planRegistry() []planEntry {
 	for _, e := range policies.Registry() {
 		entries = append(entries, planEntry{Name: e.Name, Pkg: e.Pkg, Build: e.Build})
 	}
+	// Registration order is an implementation detail of the catalogs;
+	// sort so -plans output (and CI diffs of it) is stable across runs.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Pkg != entries[j].Pkg {
+			return entries[i].Pkg < entries[j].Pkg
+		}
+		return entries[i].Name < entries[j].Name
+	})
 	return entries
 }
 

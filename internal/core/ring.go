@@ -37,6 +37,8 @@ const ringSpin = 128
 // the producer's tail stores and the consumer's head stores do not
 // false-share; each side keeps a cached copy of the peer's counter to
 // avoid re-reading a contended line on every operation.
+//
+//superfe:padded
 type spscRing struct {
 	slots []shardMsg
 	mask  uint64
@@ -89,6 +91,7 @@ func (r *spscRing) cap() int { return len(r.slots) }
 // (backpressure toward the router). Producer goroutine only.
 //
 //superfe:hotpath
+//superfe:producer
 func (r *spscRing) push(m shardMsg) {
 	t := r.tail.Load()
 	if t-r.headCache >= uint64(len(r.slots)) {
@@ -108,6 +111,7 @@ func (r *spscRing) push(m shardMsg) {
 // the consumer signals progress.
 //
 //superfe:coldpath
+//superfe:producer
 func (r *spscRing) pushSlow(t uint64) {
 	for i := 0; i < r.spin; i++ {
 		runtime.Gosched()
@@ -139,6 +143,7 @@ func (r *spscRing) pushSlow(t uint64) {
 // goroutine only.
 //
 //superfe:hotpath
+//superfe:consumer
 func (r *spscRing) pop() (shardMsg, bool) {
 	h := r.head.Load()
 	if h == r.tailCache {
@@ -161,6 +166,7 @@ func (r *spscRing) pop() (shardMsg, bool) {
 // is closed and drained.
 //
 //superfe:coldpath
+//superfe:consumer
 func (r *spscRing) popSlow(h uint64) bool {
 	for i := 0; i < r.spin; i++ {
 		if r.closed.Load() {

@@ -56,8 +56,15 @@ func (g Granularity) Directional() bool {
 }
 
 // Coarser reports whether g is strictly coarser than other on the
-// canonical dependency chain host ⊃ channel ⊃ socket/flow. Flow and
-// socket share the finest level (both are keyed by the 5-tuple).
+// canonical dependency chain host ⊃ channel ⊃ socket ⊃ flow. Socket
+// and flow are both keyed by the 5-tuple, but a socket group is the
+// canonicalised tuple and therefore contains both raw-tuple
+// orientations — i.e. both flow groups of the conversation. Ordering
+// socket before flow keeps the chain's containment invariant: every
+// packet of one FG group maps to exactly one CG group, which the
+// parallel engine's CG-hash sharding (and the switch's CG batching)
+// relies on. With the order reversed, a socket group would span two
+// flow-keyed CG groups and shard-split into duplicate vectors.
 func (g Granularity) Coarser(other Granularity) bool {
 	return g.depth() < other.depth()
 }
@@ -68,8 +75,10 @@ func (g Granularity) depth() int {
 		return 0
 	case GranChannel:
 		return 1
-	default: // flow, socket
+	case GranSocket:
 		return 2
+	default: // flow: raw-tuple orientation, the true finest level
+		return 3
 	}
 }
 

@@ -36,8 +36,14 @@ func TestCoarser(t *testing.T) {
 	if !GranHost.Coarser(GranChannel) || !GranChannel.Coarser(GranSocket) {
 		t.Error("dependency chain host ⊃ channel ⊃ socket broken")
 	}
-	if GranSocket.Coarser(GranFlow) || GranFlow.Coarser(GranSocket) {
-		t.Error("socket and flow share the finest level")
+	// A socket group is the canonicalised 5-tuple and contains both
+	// raw-tuple orientations, so socket is strictly coarser than flow:
+	// the containment invariant the parallel engine's CG sharding needs.
+	if !GranSocket.Coarser(GranFlow) {
+		t.Error("socket must be coarser than flow (it contains both orientations)")
+	}
+	if GranFlow.Coarser(GranSocket) {
+		t.Error("flow must not be coarser than socket")
 	}
 	if GranSocket.Coarser(GranHost) {
 		t.Error("socket must not be coarser than host")
@@ -52,10 +58,11 @@ func TestChainSort(t *testing.T) {
 			t.Fatalf("ChainSort = %v, want %v", got, want)
 		}
 	}
-	// Stability at equal depth: socket before flow if given first.
-	got = ChainSort([]Granularity{GranSocket, GranFlow})
+	// Socket must sort before flow regardless of input order: a
+	// flow-keyed CG would split socket groups across shards.
+	got = ChainSort([]Granularity{GranFlow, GranSocket})
 	if got[0] != GranSocket || got[1] != GranFlow {
-		t.Errorf("ChainSort not stable at equal depth: %v", got)
+		t.Errorf("ChainSort([flow, socket]) = %v, want [socket, flow]", got)
 	}
 	// Input must not be mutated.
 	in := []Granularity{GranSocket, GranHost}

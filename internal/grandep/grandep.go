@@ -69,6 +69,16 @@ func Builtin(g flowkey.Granularity) Gran {
 // Coarser reports whether a is strictly coarser than b: a's fields
 // are a strict subset of b's (direction being recorded at b but not a
 // also counts as refinement).
+//
+// This is a field/annotation refinement order over generalised
+// granularities, used only for planning analysis. It is NOT the
+// runtime group-containment order of flowkey.Granularity.Coarser,
+// which ChainSort and the compiler use: there, socket is strictly
+// coarser than flow, because a directional granularity canonicalises
+// its tuple and one socket group contains both raw-tuple
+// orientations. Under the field view here, direction is extra
+// recorded information, so flow (same fields, no direction) refines
+// to socket instead.
 func Coarser(a, b Gran) bool {
 	if a.Fields&^b.Fields != 0 {
 		return false // a uses a field b lacks: incomparable

@@ -40,9 +40,30 @@
 //	                         line: suppresses sinkretention with a
 //	                         stated reason why the borrowed data does
 //	                         not outlive the call.
+//	//superfe:producer       on a function: it is the producing side
+//	                         of an SPSC pair. memmodelrole forbids it
+//	                         (and everything it reaches) from writing
+//	                         consumer-owned sequence fields;
+//	                         memmodelpublish requires its slot writes
+//	                         to be followed by an atomic release
+//	                         store.
+//	//superfe:consumer       on a function: the consuming side of an
+//	                         SPSC pair — the mirror-image rules of
+//	                         //superfe:producer, plus slot reads must
+//	                         be preceded by an atomic acquire load.
+//	//superfe:padded         on a struct type: the struct carries
+//	                         cache-line pads (_ [64]byte). memmodelpad
+//	                         verifies the pads exist, span a full
+//	                         line, and that the struct is only ever
+//	                         held and passed by pointer.
+//	//superfe:publish-ok     on (or immediately above) a flagged
+//	                         line: suppresses memmodelpublish — the
+//	                         slot access is ordered by other means
+//	                         (stated reason required).
 //
-// See DESIGN.md ("Invariant annotations and superfe-vet" and "Typed
-// dataflow analysis and planvet") for the full vocabulary and
+// See DESIGN.md ("Invariant annotations and superfe-vet", "Typed
+// dataflow analysis and planvet", and "Lock-free memory-model vetting
+// and differential compiler fuzzing") for the full vocabulary and
 // rationale.
 package lint
 
@@ -64,6 +85,10 @@ func Analyzers() []*analysis.Analyzer {
 		AtomicDiscipline,
 		GoroutineLeak,
 		SinkRetention,
+		MemModelAtomic,
+		MemModelRole,
+		MemModelPublish,
+		MemModelPad,
 	}
 }
 

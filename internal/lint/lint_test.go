@@ -59,6 +59,34 @@ func TestSinkRetention(t *testing.T) {
 	}
 }
 
+func TestMemModelAtomic(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lint.MemModelAtomic, "memmodelatomic")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded memmodelatomic violations, got none")
+	}
+}
+
+func TestMemModelRole(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lint.MemModelRole, "memmodelrole")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded memmodelrole violations, got none")
+	}
+}
+
+func TestMemModelPublish(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lint.MemModelPublish, "memmodelpublish")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded memmodelpublish violations, got none")
+	}
+}
+
+func TestMemModelPad(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lint.MemModelPad, "memmodelpad")
+	if len(diags) == 0 {
+		t.Fatal("expected seeded memmodelpad violations, got none")
+	}
+}
+
 // TestSuite sanity-checks the registry the multichecker runs.
 func TestSuite(t *testing.T) {
 	as := lint.Analyzers()

@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"superfe/internal/lint/analysis"
+)
+
+// This file holds the memmodel analyzer family's shared machinery and
+// the first member, memmodelatomic. The family mechanically checks the
+// lock-free discipline the SPSC ring hand-off (internal/core/ring.go)
+// rests on:
+//
+//	memmodelatomic   every field touched via sync/atomic anywhere in
+//	                 the module is only ever accessed atomically,
+//	                 module-wide, with a flow exemption for the
+//	                 construction phase (atomicdiscipline's sibling:
+//	                 that pass checks the target package's own files;
+//	                 this one follows the field across every package).
+//	memmodelrole     //superfe:producer and //superfe:consumer
+//	                 annotations partition methods so no sequence
+//	                 field is written from both sides of an SPSC pair.
+//	memmodelpublish  inside role-annotated code, plain slot writes are
+//	                 followed by an atomic release store and plain
+//	                 slot reads are preceded by an atomic acquire load
+//	                 (the store-index-then-release pattern).
+//	memmodelpad      //superfe:padded structs really contain
+//	                 cache-line pads and are never embedded, copied,
+//	                 or element-packed in a way that breaks alignment.
+
+// atomicVerbs are the sync/atomic operation stems, longest first so
+// CompareAndSwapUint64 does not classify as "And".
+var atomicVerbs = []string{"CompareAndSwap", "Load", "Store", "Add", "Swap", "Or", "And"}
+
+// atomicFieldOp resolves a sync/atomic operation applied to a struct
+// field — either the method form x.f.Store(v) or the legacy function
+// form atomic.StoreUint64(&x.f, v) — and returns the field object and
+// the operation stem ("Load", "Store", "Add", ...). Calls that are not
+// atomic ops on a field return (nil, "").
+func atomicFieldOp(info *types.Info, call *ast.CallExpr) (types.Object, string) {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, ""
+	}
+	verb := ""
+	for _, v := range atomicVerbs {
+		if strings.HasPrefix(fn.Name(), v) {
+			verb = v
+			break
+		}
+	}
+	if verb == "" {
+		return nil, ""
+	}
+	var fld types.Object
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// Method form: the receiver expression names the field.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			fld = fieldObject(info, sel.X)
+		}
+	} else if len(call.Args) > 0 {
+		// Function form: the address-of first argument names the field.
+		if un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && un.Op == token.AND {
+			fld = fieldObject(info, un.X)
+		}
+	}
+	if fld == nil {
+		return nil, ""
+	}
+	return fld, verb
+}
+
+// isSeqField reports whether a field can carry an SPSC sequence: an
+// integer sync/atomic type (atomic.Uint64 and friends) or a plain
+// integer reached through legacy atomic functions. atomic.Bool,
+// atomic.Value and atomic.Pointer are deliberately excluded — park
+// flags and the like are legitimately touched from both sides of a
+// ring, only the monotonic sequence counters are role-owned.
+func isSeqField(fld types.Object) bool {
+	t := fld.Type()
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			switch obj.Name() {
+			case "Int32", "Int64", "Uint32", "Uint64", "Uintptr":
+				return true
+			}
+			return false
+		}
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		return true
+	}
+	return false
+}
+
+// MemModelAtomic extends atomicdiscipline across package boundaries:
+// for every field declared in the target package that any module code
+// touches through sync/atomic, every access anywhere in the module
+// must be atomic. The check is flow-sensitive about construction: a
+// non-atomic access through a variable the enclosing function itself
+// initialized from a composite literal or new() is a pre-publication
+// write and needs no waiver. //superfe:atomic-ok still suppresses.
+var MemModelAtomic = &analysis.Analyzer{
+	Name: "memmodelatomic",
+	Doc:  "require module-wide atomic access to atomically-touched fields declared in this package (construction-phase accesses exempt)",
+	Run:  runMemModelAtomic,
+}
+
+func runMemModelAtomic(pass *analysis.Pass) error {
+	all := collectAtomicFields(pass.Prog)
+	mine := map[types.Object]bool{}
+	for fld := range all {
+		if fld.Pkg() == pass.Pkg {
+			mine[fld] = true
+		}
+	}
+	if len(mine) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Prog.Packages {
+		dirs := newDirectives(pass.Fset, pkg.Files)
+		c := &flowAtomicChecker{pass: pass, info: pkg.Info, dirs: dirs, fields: mine}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.local = localConstructs(pkg.Info, fd.Body)
+				ast.Inspect(fd.Body, c.inspect)
+			}
+		}
+	}
+	return nil
+}
+
+// localConstructs returns the objects of variables the function body
+// itself initializes from a composite literal, &composite literal, or
+// new(T) call: accesses through them happen before the value can be
+// shared, so the atomic discipline does not yet apply.
+func localConstructs(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if !freshValue(info, rhs) {
+			return
+		}
+		if o := info.Defs[id]; o != nil {
+			objs[o] = true
+		} else if o := info.Uses[id]; o != nil {
+			objs[o] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return objs
+}
+
+// freshValue reports whether an expression denotes storage no other
+// goroutine can hold a reference to yet.
+func freshValue(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		return isBuiltinCall(info, e, "new")
+	}
+	return false
+}
+
+// flowAtomicChecker is the per-package traversal of memmodelatomic:
+// atomicChecker's access rules plus the construction-phase exemption.
+type flowAtomicChecker struct {
+	pass   *analysis.Pass
+	info   *types.Info
+	dirs   *directives
+	fields map[types.Object]bool
+	local  map[types.Object]bool
+}
+
+func (c *flowAtomicChecker) inspect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		// Ranging over the field reads only the slice header; element
+		// accesses in the body stay checked.
+		if fld := fieldObject(c.info, n.X); fld != nil && c.fields[fld] {
+			if n.Key != nil {
+				ast.Inspect(n.Key, c.inspect)
+			}
+			if n.Value != nil {
+				ast.Inspect(n.Value, c.inspect)
+			}
+			ast.Inspect(n.Body, c.inspect)
+			return false
+		}
+	case *ast.CallExpr:
+		if isBuiltinCall(c.info, n, "len") || isBuiltinCall(c.info, n, "cap") {
+			if len(n.Args) == 1 {
+				if _, ok := ast.Unparen(n.Args[0]).(*ast.SelectorExpr); ok {
+					return false
+				}
+			}
+		}
+		if isAtomicCall(c.info, n) {
+			for _, arg := range n.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					continue
+				}
+				ast.Inspect(arg, c.inspect)
+			}
+			// The receiver chain of the method form (x.f.Load) is the
+			// discipline itself; don't descend into n.Fun.
+			return false
+		}
+	case *ast.SelectorExpr:
+		sel, ok := c.info.Selections[n]
+		if !ok || sel.Kind() != types.FieldVal || !c.fields[sel.Obj()] {
+			break
+		}
+		if c.local[rootObject(c.info, n.X)] {
+			return false // construction phase: the holder is function-local
+		}
+		if c.dirs.at(n.Pos(), "atomic-ok") {
+			return false
+		}
+		c.pass.Reportf(n.Pos(), "non-atomic access to %s, a field touched via sync/atomic elsewhere in the module, outside its construction phase", sel.Obj().Name())
+		return false
+	}
+	return true
+}

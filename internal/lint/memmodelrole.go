@@ -1,0 +1,365 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"superfe/internal/lint/analysis"
+)
+
+// MemModelRole enforces the SPSC ownership partition the ring protocol
+// depends on: methods annotated //superfe:producer own one set of
+// sequence fields (tail and the producer's cache of head) and methods
+// annotated //superfe:consumer own the complementary set. A sequence
+// field — an integer atomic, or a plain integer side cache of one —
+// written from both sides is no longer single-producer/single-consumer
+// and the whole wait-free argument collapses. The analyzer follows the
+// static call graph, so a helper reached only from producer code is
+// producer code; a function reachable from neither side that writes an
+// owned field is flagged as a rogue writer.
+//
+// atomic.Bool fields are deliberately outside the partition: the
+// park/wake flags are a two-sided rendezvous by design.
+var MemModelRole = &analysis.Analyzer{
+	Name: "memmodelrole",
+	Doc:  "require //superfe:producer and //superfe:consumer methods to write disjoint sequence fields (SPSC ownership partition)",
+	Run:  runMemModelRole,
+}
+
+// roleWrite is one write to a sequence field inside one function.
+type roleWrite struct {
+	fld types.Object
+	pos token.Pos
+}
+
+func runMemModelRole(pass *analysis.Pass) error {
+	decls := pkgFuncDecls(pass)
+	roles := map[*types.Func]string{}
+	roleStructs := map[*types.TypeName]bool{}
+	for _, d := range decls {
+		p := funcDirective(d.fd, "producer")
+		c := funcDirective(d.fd, "consumer")
+		if p && c {
+			pass.Reportf(d.fd.Pos(), "%s is annotated both //superfe:producer and //superfe:consumer; an SPSC side has exactly one role", d.fn.Name())
+			continue
+		}
+		if !p && !c {
+			continue
+		}
+		role := "producer"
+		if c {
+			role = "consumer"
+		}
+		roles[d.fn] = role
+		if tn := receiverTypeName(d.fn); tn != nil {
+			roleStructs[tn] = true
+		}
+	}
+	if len(roles) == 0 {
+		return nil
+	}
+
+	// Direct sequence-field writes per function: atomic read-modify
+	// ops on integer atomics, plus plain writes to integer fields of a
+	// role-bearing struct (the head/tail side caches).
+	writes := map[*types.Func][]roleWrite{}
+	for _, d := range decls {
+		var ws []roleWrite
+		ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fld, verb := atomicFieldOp(pass.TypesInfo, n); fld != nil && verb != "Load" && isSeqField(fld) {
+					ws = append(ws, roleWrite{fld: fld, pos: n.Pos()})
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if fld := plainSeqTarget(pass.TypesInfo, lhs, roleStructs); fld != nil {
+						ws = append(ws, roleWrite{fld: fld, pos: lhs.Pos()})
+					}
+				}
+			case *ast.IncDecStmt:
+				if fld := plainSeqTarget(pass.TypesInfo, n.X, roleStructs); fld != nil {
+					ws = append(ws, roleWrite{fld: fld, pos: n.X.Pos()})
+				}
+			}
+			return true
+		})
+		if len(ws) > 0 {
+			writes[d.fn] = ws
+		}
+	}
+
+	g := graphFor(pass.Prog)
+	reach := func(role string) map[*types.Func]bool {
+		seen := map[*types.Func]bool{}
+		var visit func(fn *types.Func)
+		visit = func(fn *types.Func) {
+			if fn == nil || seen[fn] {
+				return
+			}
+			if r, annotated := roles[fn]; annotated && r != role {
+				return // the partition boundary: never cross into the peer
+			}
+			seen[fn] = true
+			for _, c := range g.callees[fn] {
+				visit(c)
+			}
+		}
+		for _, d := range decls {
+			if roles[d.fn] == role {
+				visit(d.fn)
+			}
+		}
+		return seen
+	}
+	prodReach, consReach := reach("producer"), reach("consumer")
+
+	// Ownership: which side writes each field.
+	written := map[types.Object]map[string]bool{}
+	for _, d := range decls {
+		for _, w := range writes[d.fn] {
+			side := ""
+			if prodReach[d.fn] {
+				side = "producer"
+			} else if consReach[d.fn] {
+				side = "consumer"
+			}
+			if side == "" {
+				continue
+			}
+			if written[w.fld] == nil {
+				written[w.fld] = map[string]bool{}
+			}
+			written[w.fld][side] = true
+		}
+	}
+
+	var conflicted []types.Object
+	for fld, sides := range written {
+		if sides["producer"] && sides["consumer"] {
+			conflicted = append(conflicted, fld)
+		}
+	}
+	sort.Slice(conflicted, func(i, j int) bool { return conflicted[i].Pos() < conflicted[j].Pos() })
+	for _, fld := range conflicted {
+		pass.Reportf(fld.Pos(), "sequence field %s is written by both //superfe:producer and //superfe:consumer code; SPSC ownership requires a single writing side", fld.Name())
+	}
+
+	// Rogue writers: functions on neither side writing an owned field.
+	for _, d := range decls {
+		if prodReach[d.fn] || consReach[d.fn] {
+			continue
+		}
+		for _, w := range writes[d.fn] {
+			sides := written[w.fld]
+			if sides == nil || (sides["producer"] && sides["consumer"]) {
+				continue // unowned, or already reported as conflicted
+			}
+			owner := "producer"
+			if sides["consumer"] {
+				owner = "consumer"
+			}
+			pass.Reportf(w.pos, "%s writes %s-owned sequence field %s but is not reachable from any //superfe:%s function", d.fn.Name(), owner, w.fld.Name(), owner)
+		}
+	}
+	return nil
+}
+
+// MemModelPublish checks the store-index-then-release pattern inside
+// role-annotated functions: a plain write to a slot array must be
+// followed by an atomic store of a sequence field (the release that
+// publishes it), and a plain read of a slot array must be preceded by
+// an atomic load of a sequence field (the acquire that ordered it).
+// The check is lexical over the function body — deliberately stricter
+// than a path-sensitive analysis, matching how the ring code is
+// written. //superfe:publish-ok <reason> waives a site that is ordered
+// by other means (e.g. a single-threaded drain after quiescence).
+var MemModelPublish = &analysis.Analyzer{
+	Name: "memmodelpublish",
+	Doc:  "require slot-array writes in producer/consumer code to be release-published and slot reads to be acquire-ordered",
+	Run:  runMemModelPublish,
+}
+
+func runMemModelPublish(pass *analysis.Pass) error {
+	dirs := newDirectives(pass.Fset, pass.Files)
+	for _, d := range pkgFuncDecls(pass) {
+		role := ""
+		switch {
+		case funcDirective(d.fd, "producer"):
+			role = "producer"
+		case funcDirective(d.fd, "consumer"):
+			role = "consumer"
+		default:
+			continue
+		}
+		checkPublication(pass, dirs, d.fd, role)
+	}
+	return nil
+}
+
+// slotEvent is one ordered event in a role function's body.
+type slotEvent struct {
+	pos  token.Pos
+	kind int // slotWrite, slotRead, release, acquire
+	name string
+}
+
+const (
+	slotWrite = iota
+	slotRead
+	release
+	acquire
+)
+
+func checkPublication(pass *analysis.Pass, dirs *directives, fd *ast.FuncDecl, role string) {
+	info := pass.TypesInfo
+	// Index expressions appearing as assignment targets are writes.
+	lhsIndex := map[*ast.IndexExpr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				lhsIndex[ix] = true
+			}
+		}
+		return true
+	})
+
+	var events []slotEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fld, verb := atomicFieldOp(info, n); fld != nil && isSeqField(fld) {
+				kind := release
+				if verb == "Load" {
+					kind = acquire
+				}
+				events = append(events, slotEvent{pos: n.Pos(), kind: kind, name: fld.Name()})
+			}
+		case *ast.IndexExpr:
+			fld := fieldObject(info, n.X)
+			if fld == nil || !isSlotField(fld) {
+				return true
+			}
+			kind := slotRead
+			if lhsIndex[n] {
+				kind = slotWrite
+			}
+			events = append(events, slotEvent{pos: n.Pos(), kind: kind, name: fld.Name()})
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for i, ev := range events {
+		switch ev.kind {
+		case slotWrite:
+			published := false
+			for _, later := range events[i+1:] {
+				if later.kind == release {
+					published = true
+					break
+				}
+			}
+			if !published && !dirs.at(ev.pos, "publish-ok") {
+				pass.Reportf(ev.pos, "plain write to slot field %s in //superfe:%s code is not followed by an atomic release store of a sequence field (store-index-then-release)", ev.name, role)
+			}
+		case slotRead:
+			ordered := false
+			for _, earlier := range events[:i] {
+				if earlier.kind == acquire {
+					ordered = true
+					break
+				}
+			}
+			if !ordered && !dirs.at(ev.pos, "publish-ok") {
+				pass.Reportf(ev.pos, "plain read of slot field %s in //superfe:%s code is not preceded by an atomic acquire load of a sequence field", ev.name, role)
+			}
+		}
+	}
+}
+
+// isSlotField reports whether a field is a slot array: a slice or
+// array of non-atomic payload.
+func isSlotField(fld types.Object) bool {
+	switch fld.Type().Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	}
+	return false
+}
+
+// pkgDecl pairs a declared function with its syntax.
+type pkgDecl struct {
+	fn *types.Func
+	fd *ast.FuncDecl
+}
+
+// pkgFuncDecls lists the target package's declared functions with
+// bodies, in source order.
+func pkgFuncDecls(pass *analysis.Pass) []pkgDecl {
+	var out []pkgDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, pkgDecl{fn: fn, fd: fd})
+		}
+	}
+	return out
+}
+
+// receiverTypeName resolves a method's base receiver type name
+// (through one pointer), or nil for plain functions.
+func receiverTypeName(fn *types.Func) *types.TypeName {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// plainSeqTarget resolves a non-atomic write target to an integer
+// field of a role-bearing struct (a sequence side cache), or nil.
+func plainSeqTarget(info *types.Info, lhs ast.Expr, roleStructs map[*types.TypeName]bool) types.Object {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	fld := s.Obj()
+	b, ok := fld.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || !roleStructs[named.Obj()] {
+		return nil
+	}
+	return fld
+}

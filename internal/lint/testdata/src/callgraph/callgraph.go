@@ -1,0 +1,40 @@
+// Package callgraph is the fixture for pinning staticCallee and
+// buildCallGraph resolution behavior on the constructs memmodel's
+// reachability traversal depends on: method values, deferred and go
+// calls, method expressions, and calls through struct-embedded
+// interfaces.
+package callgraph
+
+type T struct{ n int }
+
+func (t *T) M() int { return t.n }
+
+type I interface{ M() int }
+
+// S promotes I's method set through embedding.
+type S struct {
+	I
+}
+
+func direct(t *T) int { return t.M() }
+
+func methodValue(t *T) int {
+	f := t.M // method value: the call below is dynamic
+	return f()
+}
+
+func deferred(t *T) {
+	defer t.M()
+}
+
+func goCall(t *T) {
+	go t.M()
+}
+
+func embedded(s S) int { return s.M() }
+
+func viaIface(i I) int { return i.M() }
+
+func methodExpr(t *T) int { return (*T).M(t) }
+
+func closer(ch chan int) { close(ch) }

@@ -1,0 +1,50 @@
+// Package memmodelatomic seeds memmodelatomic violations: mixed
+// atomic/plain access to a counter field, with the construction-phase
+// and waiver exemptions exercised alongside.
+package memmodelatomic
+
+import "sync/atomic"
+
+type reg struct {
+	vals []uint64
+	n    uint64
+}
+
+func newReg() *reg {
+	r := &reg{vals: make([]uint64, 8)}
+	r.n = 0 // construction phase: r is function-local, no waiver needed
+	return r
+}
+
+func (r *reg) inc(i int) { atomic.AddUint64(&r.vals[i], 1) }
+func (r *reg) bump()     { atomic.AddUint64(&r.n, 1) }
+
+func (r *reg) bad() uint64 {
+	r.n++                // want `non-atomic access to n`
+	return r.vals[0] + 1 // want `non-atomic access to vals`
+}
+
+func (r *reg) waived() uint64 {
+	//superfe:atomic-ok quiescent read after the pipeline has drained
+	return r.n
+}
+
+func (r *reg) size() int { return len(r.vals) } // header read: exempt
+
+func (r *reg) sum() uint64 {
+	var s uint64
+	for i := range r.vals { // header read: exempt
+		s += atomic.LoadUint64(&r.vals[i])
+	}
+	return s
+}
+
+func use() {
+	r := newReg()
+	r.inc(0)
+	r.bump()
+	_ = r.bad()
+	_ = r.waived()
+	_ = r.size()
+	_ = r.sum()
+}

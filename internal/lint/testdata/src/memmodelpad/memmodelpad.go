@@ -1,0 +1,53 @@
+// Package memmodelpad seeds memmodelpad violations: a padded struct
+// with no pad, an undersized pad, and the by-value embeddings that
+// silently discard cache-line alignment.
+package memmodelpad
+
+// ring is properly padded: the writer-owned halves sit a full line
+// apart.
+//
+//superfe:padded
+type ring struct {
+	a uint64
+	_ [64]byte
+	b uint64
+}
+
+// bare claims padding it does not have.
+//
+//superfe:padded
+type bare struct { // want `bare is declared //superfe:padded but contains no cache-line pad`
+	a uint64
+	b uint64
+}
+
+// short pads with less than a cache line.
+//
+//superfe:padded
+type short struct {
+	a uint64
+	_ [64]byte
+	b uint64
+	_ [8]byte // want `pad in //superfe:padded struct short is 8 bytes, smaller than the 64-byte cache line`
+	c uint64
+}
+
+type holder struct {
+	byValue ring  // want `struct field holds padded struct ring by value`
+	byPtr   *ring // pointer: alignment preserved
+}
+
+type table struct {
+	rings []ring // want `array/slice element holds padded struct ring by value`
+}
+
+func byValue(r ring) uint64 { // want `parameter holds padded struct ring by value`
+	return r.a
+}
+
+func byPtr(r *ring) uint64 { return r.a }
+
+func copies(p *ring) {
+	r := *p // want `dereference copy holds padded struct ring by value`
+	_ = r
+}

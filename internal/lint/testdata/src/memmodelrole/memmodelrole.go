@@ -1,0 +1,67 @@
+// Package memmodelrole seeds memmodelrole violations: a producer
+// method writing the consumer's sequence field, a rogue unannotated
+// writer, a dual-role annotation, and a side cache written from both
+// sides.
+package memmodelrole
+
+import "sync/atomic"
+
+type ring struct {
+	slots []int
+	mask  uint64
+
+	tail atomic.Uint64
+	head atomic.Uint64 // want `sequence field head is written by both //superfe:producer and //superfe:consumer code`
+	// headCache is the producer's cached copy of head.
+	headCache uint64 // want `sequence field headCache is written by both //superfe:producer and //superfe:consumer code`
+	parked    atomic.Bool
+}
+
+// push publishes one value.
+//
+//superfe:producer
+func (r *ring) push(v int) {
+	t := r.tail.Load()
+	r.headCache = r.head.Load()
+	r.slots[t&r.mask] = v
+	r.tail.Store(t + 1)
+	r.parked.Swap(false) // atomic.Bool: outside the partition by design
+}
+
+// pop consumes one value.
+//
+//superfe:consumer
+func (r *ring) pop() int {
+	h := r.head.Load()
+	_ = r.tail.Load()
+	v := r.slots[h&r.mask]
+	r.head.Store(h + 1)
+	return v
+}
+
+// pushReset is producer code that resets the consumer's sequence —
+// the partition violation the analyzer exists for.
+//
+//superfe:producer
+func (r *ring) pushReset() {
+	r.head.Store(0)
+	r.headCache = 0
+}
+
+// popTouchy is consumer code clobbering the producer's side cache.
+//
+//superfe:consumer
+func (r *ring) popTouchy() {
+	r.headCache = 0
+}
+
+// rogue writes the producer-owned tail from unannotated code.
+func (r *ring) rogue() {
+	r.tail.Add(1) // want `rogue writes producer-owned sequence field tail but is not reachable from any //superfe:producer function`
+}
+
+// confused claims both roles at once.
+//
+//superfe:producer
+//superfe:consumer
+func (r *ring) confused() {} // want `confused is annotated both //superfe:producer and //superfe:consumer`

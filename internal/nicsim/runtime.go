@@ -465,7 +465,20 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 		perPacketEmit := false
 		var fgGroup *group
 		for pi, pr := range r.programs {
-			key, fwd := flowkey.KeyFor(pr.gran, tuple)
+			var key flowkey.Key
+			var fwd bool
+			if single {
+				// Single-granularity chains ship no FG keys: the MGPV's
+				// CG key IS the group key, and the cell's direction bit
+				// is already relative to it. Re-deriving through KeyFor
+				// would canonicalise an already-projected tuple — host
+				// keys carry no DstIP, so min-folding them a second
+				// time collapses every group to 0.0.0.0 and inverts
+				// the direction bit.
+				key, fwd = v.CG, cell.Forward
+			} else {
+				key, fwd = flowkey.KeyFor(pr.gran, tuple)
+			}
 			// Memo hit: the previous cell of this MGPV resolved the
 			// same group at this granularity (guaranteed at the CG,
 			// overwhelmingly common at coarser intermediate levels).
@@ -497,7 +510,10 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 			perPacketEmit = perPacketEmit || emitted
 		}
 		if perPacketEmit {
-			fgKey, _ := flowkey.KeyFor(r.plan.Switch.FG, tuple)
+			fgKey := v.CG
+			if !single {
+				fgKey, _ = flowkey.KeyFor(r.plan.Switch.FG, tuple)
+			}
 			// The MGPV's switch-computed CG hash scopes the tracer
 			// sampling decision — no rehash on the emit path (§6.2).
 			r.emitVector(fgKey, fgGroup, r.cellTimestamp(cell), perPacketVals, v.CG, v.Hash)

@@ -1,0 +1,164 @@
+package polgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generate derives the index-th spec of a fuzz campaign
+// deterministically from (seed, index): the same pair always yields
+// the same spec, so CI failures reproduce locally with the seed from
+// the log and a corpus file is just a saved spec. Specs are valid by
+// construction — operator ordering, source references and reducer
+// parameters all satisfy the builder's rules — while the knobs that
+// decide plan feasibility (MGPV buffer split, hist widths, EMEM
+// budget) deliberately range across the envelope boundary so the run
+// exercises both planvet verdicts.
+func Generate(seed int64, index int) Spec {
+	// Golden-ratio stride decorrelates neighbouring indices without
+	// losing determinism.
+	rng := rand.New(rand.NewSource(seed + int64(index)*0x9e3779b9))
+	s := Spec{
+		Name:      fmt.Sprintf("fuzz-%d-%d", seed, index),
+		TraceSeed: 1 + rng.Int63n(1<<31),
+		Workers:   2 + rng.Intn(3),
+	}
+
+	// Filters: pre-groupby, 0-2 of them.
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			s.Filters = append(s.Filters, FilterSpec{Kind: "tcp"})
+		case 1:
+			s.Filters = append(s.Filters, FilterSpec{Kind: "udp"})
+		case 2:
+			s.Filters = append(s.Filters, FilterSpec{Kind: "port", Port: wellKnown[rng.Intn(len(wellKnown))]})
+		default:
+			s.Filters = append(s.Filters, FilterSpec{Kind: "not-port", Port: wellKnown[rng.Intn(len(wellKnown))]})
+		}
+	}
+
+	// Granularity chain: 1-3 distinct levels (the builder rejects
+	// repeats; MGPV chains them coarsest-first internally).
+	grans := []string{"flow", "host", "channel", "socket"}
+	rng.Shuffle(len(grans), func(i, j int) { grans[i], grans[j] = grans[j], grans[i] })
+	nBlocks := 1 + rng.Intn(3)
+	for b := 0; b < nBlocks; b++ {
+		s.Blocks = append(s.Blocks, genBlock(rng, b, grans[b]))
+	}
+
+	// Hardware envelope: mostly defaults, with excursions chosen to
+	// land on both sides of each planvet check.
+	s.Switch = SwitchSpec{
+		ShortBufCells: pickInt(rng, 0, 0, 2, 8, 16),
+		NumShort:      pickInt(rng, 0, 0, 4096, 8192),
+		LongBufCells:  pickInt(rng, 0, 0, 10, 40),
+		NumLong:       pickInt(rng, 0, 0, 1024),
+	}
+	s.NIC = NICSpec{EMEMBytes: pickInt(rng, 0, 0, 0, 256<<10, 1<<20)}
+	return s
+}
+
+// wellKnown mirrors the destination-port pool the trace generator
+// draws from, so port filters keep a meaningful share of traffic.
+var wellKnown = []int{80, 443, 53, 22, 8080}
+
+var builtinSources = []string{"size", "tstamp", "ip.ttl", "tcp.flags"}
+
+func genBlock(rng *rand.Rand, idx int, gran string) BlockSpec {
+	blk := BlockSpec{Gran: gran}
+	directional := gran != "flow"
+
+	// Map chain: 0-2 maps; a later map may chain off an earlier one.
+	nMaps := rng.Intn(3)
+	var keys []string
+	for m := 0; m < nMaps; m++ {
+		dst := fmt.Sprintf("b%dm%d", idx, m)
+		spec := MapSpec{Dst: dst}
+		switch rng.Intn(6) {
+		case 0:
+			spec.Func = "one"
+		case 1:
+			spec.Func, spec.Src = "ipt", "tstamp"
+		case 2:
+			spec.Func, spec.Src = "speed", "size"
+		case 3:
+			spec.Func, spec.Src = "burst", "size"
+			spec.GapNS = []int64{1e6, 5e6, 2e7}[rng.Intn(3)]
+		case 4:
+			spec.Func, spec.Src = "direction", "size"
+		default:
+			spec.Func = "identity"
+			if len(keys) > 0 && rng.Intn(2) == 0 {
+				spec.Src = "key:" + keys[rng.Intn(len(keys))]
+			} else {
+				spec.Src = builtinSources[rng.Intn(len(builtinSources))]
+			}
+		}
+		keys = append(keys, dst)
+		blk.Maps = append(blk.Maps, spec)
+	}
+
+	// 1-3 reduce...collect pipelines per block.
+	nReduces := 1 + rng.Intn(3)
+	for r := 0; r < nReduces; r++ {
+		red := ReduceSpec{}
+		if len(keys) > 0 && rng.Intn(2) == 0 {
+			red.Src = keys[rng.Intn(len(keys))]
+		} else {
+			red.Src = builtinSources[rng.Intn(len(builtinSources))]
+		}
+		nFuncs := 1 + rng.Intn(2)
+		for f := 0; f < nFuncs; f++ {
+			red.Reducers = append(red.Reducers, genReducer(rng, directional))
+		}
+		// Synthesizers: f_norm composes with anything; ft_sample and
+		// f_marker only make sense over a sequence, so they ride on
+		// single-reducer f_array pipelines.
+		if len(red.Reducers) == 1 && red.Reducers[0].Func == "array" {
+			switch rng.Intn(4) {
+			case 0:
+				red.Synth = "norm"
+			case 1:
+				red.Synth, red.SampleN = "sample", 8+rng.Intn(57)
+			case 2:
+				if directional {
+					red.Synth = "marker"
+				}
+			}
+		} else if rng.Intn(5) == 0 {
+			red.Synth = "norm"
+		}
+		blk.Reduces = append(blk.Reduces, red)
+	}
+	return blk
+}
+
+func genReducer(rng *rand.Rand, directional bool) ReducerSpec {
+	scalar := []string{"sum", "mean", "var", "std", "max", "min", "kurtosis", "skew", "card"}
+	if directional {
+		scalar = append(scalar, "mag", "radius", "cov", "pcc")
+	}
+	switch rng.Intn(6) {
+	case 0: // histogram family; Bins > 128 overruns the 512-byte DMA burst
+		fn := []string{"hist", "pdf", "cdf"}[rng.Intn(3)]
+		return ReducerSpec{
+			Func:     fn,
+			BinWidth: []int64{16, 64, 128}[rng.Intn(3)],
+			Bins:     []int{8, 16, 32, 64, 128, 256, 512}[rng.Intn(7)],
+		}
+	case 1:
+		return ReducerSpec{Func: "percent", BinWidth: 64, Bins: 32,
+			Quantile: []float64{0.25, 0.5, 0.9}[rng.Intn(3)]}
+	case 2:
+		return ReducerSpec{Func: "array", MaxLen: []int{32, 128, 512}[rng.Intn(3)]}
+	default:
+		return ReducerSpec{Func: scalar[rng.Intn(len(scalar))]}
+	}
+}
+
+// pickInt draws uniformly from the given candidates (zeros mean
+// "default", so repeating 0 weights the common case).
+func pickInt(rng *rand.Rand, candidates ...int) int {
+	return candidates[rng.Intn(len(candidates))]
+}

@@ -1,0 +1,159 @@
+package polgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"superfe/internal/planvet"
+)
+
+// TestGenerateDeterministic pins the reproducibility contract: the
+// same (seed, index) pair must always yield the same spec, or CI
+// failure seeds stop reproducing locally.
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a, b := Generate(7, i), Generate(7, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Generate(7, %d) is not deterministic:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if reflect.DeepEqual(Generate(7, 0), Generate(8, 0)) {
+		t.Fatal("different seeds produced identical specs")
+	}
+}
+
+// TestGeneratedSpecsValid checks the valid-by-construction property
+// over a window of the campaign: every generated spec must build, and
+// planvet must classify it without driver errors. The window must
+// contain both verdicts, or the generator stopped straddling the
+// hardware envelope and the campaign silently lost half its purpose.
+func TestGeneratedSpecsValid(t *testing.T) {
+	feasible, infeasible := 0, 0
+	for i := 0; i < 80; i++ {
+		spec := Generate(1, i)
+		pol, err := spec.Build()
+		if err != nil {
+			t.Fatalf("spec %d does not build: %v", i, err)
+		}
+		r, err := planvet.CheckPolicy(spec.Model(), spec.Name, pol)
+		if err != nil {
+			t.Fatalf("spec %d: planvet: %v", i, err)
+		}
+		if r.Feasible() {
+			feasible++
+		} else {
+			infeasible++
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("campaign window lost envelope diversity: %d feasible, %d infeasible", feasible, infeasible)
+	}
+}
+
+// TestSpecRoundTrip guards the corpus format: a spec must survive
+// JSON marshal/unmarshal bit-for-bit, since corpus files are the
+// serialized form.
+func TestSpecRoundTrip(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		spec := Generate(3, i)
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("spec %d does not round-trip:\n%+v\n%+v", i, spec, back)
+		}
+	}
+}
+
+// TestDifferentialGenerated runs a slice of the campaign end to end:
+// for every feasible plan the three engines must agree byte for
+// byte, and no planvet-accepted plan may trip the simulator's
+// resource-overflow clamp. Small trace, few cases — the full 200-case
+// campaign runs in CI via cmd/superfe-fuzz.
+func TestDifferentialGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential campaign slice is not a -short test")
+	}
+	ran := 0
+	for i := 0; i < 16; i++ {
+		spec := Generate(1, i)
+		out := Run(spec, RunOptions{Flows: 40})
+		if out.Failed() {
+			t.Errorf("case %d (%s) failed: buildErr=%q overflow=%v divergence=%q",
+				i, spec.Name, out.BuildErr, out.Overflow, out.Divergence)
+		}
+		if out.Feasible {
+			ran++
+		}
+	}
+	if ran == 0 {
+		t.Fatal("no feasible case in the slice; the differential never ran")
+	}
+}
+
+// TestCorpusReplay re-runs every committed regression spec. Corpus
+// files are minimal reproducers of past failures (plus coverage
+// anchors for both planvet verdicts); a regression here means a
+// previously fixed divergence is back.
+func TestCorpusReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty corpus: testdata/corpus must hold at least the seed specs")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var spec Spec
+			if err := json.Unmarshal(b, &spec); err != nil {
+				t.Fatalf("corrupt corpus file: %v", err)
+			}
+			out := Run(spec, RunOptions{Flows: 60})
+			if out.Failed() {
+				t.Errorf("corpus spec %s failed: buildErr=%q overflow=%v divergence=%q",
+					spec.Name, out.BuildErr, out.Overflow, out.Divergence)
+			}
+		})
+	}
+}
+
+// TestHostSingleGranKeys pins the fix the fuzzer's first campaign
+// found: a single-granularity host policy must produce one group per
+// source host, not a single zero-key group (the NIC's reconstruct
+// path used to re-canonicalise the already-projected CG key, folding
+// every host to 0.0.0.0 — and splitting into one bogus group per
+// shard under the parallel engine).
+func TestHostSingleGranKeys(t *testing.T) {
+	spec := Spec{
+		Name: "host-keys", TraceSeed: 42, Workers: 2,
+		Blocks: []BlockSpec{{
+			Gran:    "host",
+			Reduces: []ReduceSpec{{Src: "size", Reducers: []ReducerSpec{{Func: "sum"}}}},
+		}},
+	}
+	pol, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Run(spec, RunOptions{Flows: 40})
+	if out.Failed() {
+		t.Fatalf("host-only differential failed: %+v", out)
+	}
+	if out.Vectors < 2 {
+		t.Fatalf("host grouping collapsed: %d groups for 40 flows (policy %s)", out.Vectors, pol.Name())
+	}
+}

@@ -1,0 +1,144 @@
+package polgen
+
+// Shrink reduces a failing spec to a locally minimal one: it
+// repeatedly proposes structural simplifications (drop a block, a
+// filter, a map, a reduce pipeline, a reducer, a synthesizer; reset
+// a hardware knob to its default) and keeps any candidate that still
+// builds and still satisfies the failure predicate, looping until no
+// proposal is accepted. The predicate receives the candidate spec
+// and must re-run whatever check originally failed — Shrink itself
+// knows nothing about why the spec is interesting, so the same
+// machinery minimizes divergences, planvet/simulator disagreements
+// and generator bugs alike.
+//
+// The walk is deterministic (proposals are tried in a fixed order),
+// so a given failing spec always shrinks to the same reproducer.
+func Shrink(spec Spec, failing func(Spec) bool) Spec {
+	cur := spec
+	for {
+		improved := false
+		for _, cand := range proposals(cur) {
+			if !stillValid(cand) || !failing(cand) {
+				continue
+			}
+			cur = cand
+			improved = true
+			break // restart proposal enumeration from the smaller spec
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// stillValid keeps shrinking inside the generator's contract: a
+// candidate must still be a buildable policy (at least one block
+// with at least one reduce survives).
+func stillValid(s Spec) bool {
+	if len(s.Blocks) == 0 {
+		return false
+	}
+	for _, b := range s.Blocks {
+		if len(b.Reduces) == 0 {
+			return false
+		}
+	}
+	_, err := s.Build()
+	return err == nil
+}
+
+// proposals enumerates single-step simplifications, largest first so
+// whole blocks disappear before individual reducers are touched.
+func proposals(s Spec) []Spec {
+	var out []Spec
+
+	// Drop a whole granularity block.
+	for i := range s.Blocks {
+		c := clone(s)
+		c.Blocks = append(c.Blocks[:i:i], c.Blocks[i+1:]...)
+		out = append(out, c)
+	}
+	// Drop a filter.
+	for i := range s.Filters {
+		c := clone(s)
+		c.Filters = append(c.Filters[:i:i], c.Filters[i+1:]...)
+		out = append(out, c)
+	}
+	// Drop a reduce pipeline.
+	for bi := range s.Blocks {
+		for ri := range s.Blocks[bi].Reduces {
+			c := clone(s)
+			b := &c.Blocks[bi]
+			b.Reduces = append(b.Reduces[:ri:ri], b.Reduces[ri+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Drop a map (invalid if something still references its key;
+	// stillValid's Build call rejects those candidates).
+	for bi := range s.Blocks {
+		for mi := range s.Blocks[bi].Maps {
+			c := clone(s)
+			b := &c.Blocks[bi]
+			b.Maps = append(b.Maps[:mi:mi], b.Maps[mi+1:]...)
+			out = append(out, c)
+		}
+	}
+	// Drop one reducer from a multi-reducer pipeline.
+	for bi := range s.Blocks {
+		for ri := range s.Blocks[bi].Reduces {
+			if len(s.Blocks[bi].Reduces[ri].Reducers) < 2 {
+				continue
+			}
+			for fi := range s.Blocks[bi].Reduces[ri].Reducers {
+				c := clone(s)
+				r := &c.Blocks[bi].Reduces[ri]
+				r.Reducers = append(r.Reducers[:fi:fi], r.Reducers[fi+1:]...)
+				out = append(out, c)
+			}
+		}
+	}
+	// Drop a synthesizer.
+	for bi := range s.Blocks {
+		for ri := range s.Blocks[bi].Reduces {
+			if s.Blocks[bi].Reduces[ri].Synth == "" {
+				continue
+			}
+			c := clone(s)
+			r := &c.Blocks[bi].Reduces[ri]
+			r.Synth, r.SampleN = "", 0
+			out = append(out, c)
+		}
+	}
+	// Reset hardware knobs to defaults, one at a time.
+	if s.Switch != (SwitchSpec{}) {
+		c := clone(s)
+		c.Switch = SwitchSpec{}
+		out = append(out, c)
+	}
+	if s.NIC != (NICSpec{}) {
+		c := clone(s)
+		c.NIC = NICSpec{}
+		out = append(out, c)
+	}
+	return out
+}
+
+// clone deep-copies the spec so proposals never alias each other's
+// slices.
+func clone(s Spec) Spec {
+	c := s
+	c.Filters = append([]FilterSpec(nil), s.Filters...)
+	c.Blocks = make([]BlockSpec, len(s.Blocks))
+	for i, b := range s.Blocks {
+		nb := b
+		nb.Maps = append([]MapSpec(nil), b.Maps...)
+		nb.Reduces = make([]ReduceSpec, len(b.Reduces))
+		for j, r := range b.Reduces {
+			nr := r
+			nr.Reducers = append([]ReducerSpec(nil), r.Reducers...)
+			nb.Reduces[j] = nr
+		}
+		c.Blocks[i] = nb
+	}
+	return c
+}

@@ -1,0 +1,99 @@
+package polgen
+
+import (
+	"reflect"
+	"testing"
+
+	"superfe/internal/planvet"
+)
+
+// bloated returns a deliberately oversized spec whose only
+// "interesting" property is one 512-bin histogram (2 KiB of state —
+// four DMA bursts past the nic-bus limit).
+func bloated() Spec {
+	return Spec{
+		Name: "bloated", TraceSeed: 5, Workers: 3,
+		Filters: []FilterSpec{{Kind: "tcp"}, {Kind: "not-port", Port: 22}},
+		Blocks: []BlockSpec{
+			{
+				Gran: "host",
+				Maps: []MapSpec{{Dst: "b0m0", Func: "one"}},
+				Reduces: []ReduceSpec{
+					{Src: "b0m0", Reducers: []ReducerSpec{{Func: "sum"}, {Func: "mean"}}},
+					{Src: "size", Reducers: []ReducerSpec{{Func: "hist", BinWidth: 64, Bins: 512}, {Func: "max"}}},
+				},
+			},
+			{
+				Gran:    "flow",
+				Reduces: []ReduceSpec{{Src: "size", Reducers: []ReducerSpec{{Func: "min"}}, Synth: "norm"}},
+			},
+		},
+		Switch: SwitchSpec{ShortBufCells: 8, NumShort: 4096},
+		NIC:    NICSpec{EMEMBytes: 1 << 20},
+	}
+}
+
+// nicBusInfeasible is the failure predicate: planvet rejects the
+// spec's plan with (at least) a nic-bus finding.
+func nicBusInfeasible(s Spec) bool {
+	pol, err := s.Build()
+	if err != nil {
+		return false
+	}
+	r, err := planvet.CheckPolicy(s.Model(), s.Name, pol)
+	if err != nil {
+		return false
+	}
+	for _, f := range r.Findings {
+		if f.Resource == "nic-bus" {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShrinkMinimizes drives the shrinker against the structural
+// predicate and checks it strips everything that does not contribute
+// to the failure: the minimal spec is one block, one reduce, one
+// reducer — the 512-bin histogram — with no filters, no maps, no
+// synth and default hardware knobs.
+func TestShrinkMinimizes(t *testing.T) {
+	spec := bloated()
+	if !nicBusInfeasible(spec) {
+		t.Fatal("seed spec is not nic-bus infeasible; predicate broken")
+	}
+	min := Shrink(spec, nicBusInfeasible)
+	if !nicBusInfeasible(min) {
+		t.Fatal("shrunk spec no longer fails the predicate")
+	}
+	if len(min.Filters) != 0 {
+		t.Errorf("filters survived shrinking: %+v", min.Filters)
+	}
+	if len(min.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1: %+v", len(min.Blocks), min.Blocks)
+	}
+	b := min.Blocks[0]
+	if len(b.Maps) != 0 {
+		t.Errorf("maps survived shrinking: %+v", b.Maps)
+	}
+	if len(b.Reduces) != 1 || len(b.Reduces[0].Reducers) != 1 {
+		t.Fatalf("reduce pipelines not minimal: %+v", b.Reduces)
+	}
+	if got := b.Reduces[0].Reducers[0]; got.Func != "hist" || got.Bins != 512 {
+		t.Errorf("minimal reducer is %+v, want the 512-bin hist", got)
+	}
+	if min.Switch != (SwitchSpec{}) || min.NIC != (NICSpec{}) {
+		t.Errorf("hardware knobs not reset: switch=%+v nic=%+v", min.Switch, min.NIC)
+	}
+}
+
+// TestShrinkDeterministic pins the fixed proposal order: the same
+// failing spec must always shrink to the same reproducer, so corpus
+// files are stable across reruns.
+func TestShrinkDeterministic(t *testing.T) {
+	a := Shrink(bloated(), nicBusInfeasible)
+	b := Shrink(bloated(), nicBusInfeasible)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("shrink is not deterministic:\n%+v\n%+v", a, b)
+	}
+}
