@@ -32,6 +32,7 @@ import (
 	"superfe/internal/core"
 	"superfe/internal/feature"
 	"superfe/internal/harness"
+	"superfe/internal/obs"
 	"superfe/internal/policy"
 	"superfe/internal/trace"
 )
@@ -41,7 +42,9 @@ func main() {
 	short := flag.Bool("short", false, "short mode: 1000-flow trace (the mode CI measures); default is the full 5000-flow bench_test trace")
 	save := flag.Bool("save", false, "append the result as the next BENCH_<n>.json at the repo root (or -out's directory)")
 	out := flag.String("out", "", "write the result to this exact path instead of auto-numbering")
-	diff := flag.String("diff", "", "compare against this baseline BENCH_<n>.json ('latest' = highest-numbered in the current directory); exit 1 on regression")
+	diff := flag.String("diff", "", "compare against this baseline BENCH_<n>.json ('latest' = highest-numbered of the run's own variant in the current directory); exit 1 on regression")
+	obsOn := flag.Bool("obs", false, "measure the obs variant: full telemetry (metrics, interval snapshots, flow tracing, span sampling) enabled during the timed loop")
+	overhead := flag.String("overhead", "", "obs-overhead gate: compare this run (which must be -obs) against a bare baseline BENCH_<n>.json ('latest' = highest-numbered bare record); exit 1 when ns/pkt exceeds baseline*(1+tolerance) or allocations appear")
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/pkt slowdown for -diff (allocations always have zero tolerance)")
 	note := flag.String("note", "", "free-form note recorded in the JSON")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measured run to this file")
@@ -78,7 +81,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	res := measure(pol, tr, *workers)
+	res := measure(pol, tr, *workers, *obsOn)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -92,6 +95,10 @@ func main() {
 		f.Close()
 	}
 
+	variant := benchjson.VariantBare
+	if *obsOn {
+		variant = benchjson.VariantObs
+	}
 	nsPerPkt := float64(res.T.Nanoseconds()) / float64(res.N)
 	r := benchjson.Result{
 		Schema:      benchjson.SchemaVersion,
@@ -102,6 +109,7 @@ func main() {
 		Mode:        mode,
 		Policy:      "NPOD",
 		Trace:       "enterprise",
+		Variant:     variant,
 		NsPerPkt:    nsPerPkt,
 		PktsPerSec:  float64(res.N) / res.T.Seconds(),
 		AllocsPerOp: res.AllocsPerOp(),
@@ -109,8 +117,8 @@ func main() {
 		Iters:       int64(res.N),
 		Note:        *note,
 	}
-	fmt.Printf("benchrun: workers=%d mode=%s %.1f ns/pkt %.0f pkts/s %d allocs/op %d B/op (%d iters)\n",
-		r.Workers, r.Mode, r.NsPerPkt, r.PktsPerSec, r.AllocsPerOp, r.BytesPerOp, r.Iters)
+	fmt.Printf("benchrun: workers=%d mode=%s variant=%s %.1f ns/pkt %.0f pkts/s %d allocs/op %d B/op (%d iters)\n",
+		r.Workers, r.Mode, r.Variant, r.NsPerPkt, r.PktsPerSec, r.AllocsPerOp, r.BytesPerOp, r.Iters)
 
 	path := *out
 	if path == "" && *save {
@@ -130,7 +138,7 @@ func main() {
 		basePath := *diff
 		if basePath == "latest" {
 			var err error
-			if basePath, err = benchjson.Latest("."); err != nil {
+			if basePath, err = benchjson.LatestVariant(".", r.Variant); err != nil {
 				fatal(err)
 			}
 		}
@@ -145,15 +153,54 @@ func main() {
 		fmt.Printf("benchrun: OK vs %s (baseline %.1f ns/pkt, %d allocs/op)\n",
 			basePath, baseline.NsPerPkt, baseline.AllocsPerOp)
 	}
+
+	if *overhead != "" {
+		if !*obsOn {
+			fatal(fmt.Errorf("-overhead gates an obs run against a bare baseline; add -obs"))
+		}
+		basePath := *overhead
+		if basePath == "latest" {
+			var err error
+			if basePath, err = benchjson.LatestVariant(".", benchjson.VariantBare); err != nil {
+				fatal(err)
+			}
+		}
+		baseline, err := benchjson.Load(basePath)
+		if err != nil {
+			fatal(err)
+		}
+		if baseline.Variant != benchjson.VariantBare {
+			fatal(fmt.Errorf("%s is a %q record; -overhead needs a bare baseline", basePath, baseline.Variant))
+		}
+		// The deliberate cross-variant comparison Compare refuses: the
+		// instrumented pipeline against the uninstrumented one. Same
+		// ns/pkt tolerance, same zero alloc tolerance.
+		pct := 100 * (r.NsPerPkt - baseline.NsPerPkt) / baseline.NsPerPkt
+		if r.NsPerPkt > baseline.NsPerPkt*(1+*tolerance) {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL obs overhead vs %s: %.1f ns/pkt vs bare %.1f (+%.1f%%, tolerance %.0f%%)\n",
+				basePath, r.NsPerPkt, baseline.NsPerPkt, pct, 100**tolerance)
+			os.Exit(1)
+		}
+		if r.AllocsPerOp > baseline.AllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchrun: FAIL obs overhead vs %s: %d allocs/op vs bare %d\n",
+				basePath, r.AllocsPerOp, baseline.AllocsPerOp)
+			os.Exit(1)
+		}
+		fmt.Printf("benchrun: OK obs overhead vs %s (%+.1f%% ns/pkt)\n", basePath, pct)
+	}
 }
 
-// measure runs the same shape as BenchmarkParallelPipeline/bare: a
-// full warmup pass admitting every group, then a timed steady-state
-// Process loop over the trace.
-func measure(pol *policy.Policy, tr *trace.Trace, workers int) testing.BenchmarkResult {
+// measure runs the same shape as BenchmarkParallelPipeline (the bare
+// or obs variant): a full warmup pass admitting every group, then a
+// timed steady-state Process loop over the trace.
+func measure(pol *policy.Policy, tr *trace.Trace, workers int, obsOn bool) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		opts := core.DefaultParallelOptions()
 		opts.Workers = workers
+		if obsOn {
+			opts.Obs = obs.DefaultOptions()
+			opts.Obs.Enabled = true
+		}
 		pe, err := core.NewParallel(opts, pol, func(feature.Vector) {})
 		if err != nil {
 			b.Fatal(err)

@@ -68,11 +68,14 @@ func TestMeasureWritesResultAndProfiles(t *testing.T) {
 	if r.Mode != "short" || r.Workers != 1 || r.NsPerPkt <= 0 || r.Iters != 5 {
 		t.Errorf("implausible persisted result: %+v", r)
 	}
-	// At 5 iterations the Drain barrier's ack channel (one allocation
-	// per measured run, amortized to zero at real benchtimes) still
-	// shows up; anything beyond it would be a per-packet allocation.
-	if r.AllocsPerOp > 1 {
-		t.Errorf("hot path allocated: %d allocs/op", r.AllocsPerOp)
+	// The Drain at the end of the measured run has fixed costs — the
+	// barrier ack channel plus the admin status/span/flight-recorder
+	// cache refresh at quiescence — that amortize to zero at real
+	// benchtimes but show at 5 iterations. Bound the run's total so a
+	// genuine per-packet allocation (thousands per iteration) still
+	// fails loudly.
+	if total := r.AllocsPerOp * r.Iters; total > 64 {
+		t.Errorf("hot path allocated: %d allocs over %d iters", total, r.Iters)
 	}
 	for _, p := range []string{cpu, mem} {
 		st, err := os.Stat(p)

@@ -11,6 +11,12 @@
 //	superfe -policy TF -trace wfp -stats  # pipeline statistics only
 //	superfe -policy Kitsune -trace enterprise -stats \
 //	    -workers 4 -verify-wire -metrics-addr :9090   # serve telemetry
+//
+// With -metrics-addr the server is the full admin/debug surface:
+// /metrics, /status, /snapshot, /spans, /flightrecorder and
+// /debug/pprof/. -flightrec-dir collects anomaly-triggered
+// flight-recorder dumps; -profile-dir rotates CPU+heap profiles on a
+// wall-clock cadence.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"superfe/internal/apps"
 	"superfe/internal/core"
@@ -51,6 +58,11 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final metrics as a Prometheus text dump to this file (- = stdout)")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the replay to this file (inspect with go tool pprof)")
 	memProf := flag.String("memprofile", "", "write a heap profile taken after the replay to this file")
+	flightrecDir := flag.String("flightrec-dir", "", "write anomaly-triggered flight-recorder dumps (JSON) into this directory, retention-bounded")
+	flightrecOut := flag.String("flightrec-out", "", "write a final on-demand flight-recorder dump to this file after the replay (- = stdout)")
+	profileDir := flag.String("profile-dir", "", "capture rotating CPU+heap profiles into this directory, retention-bounded (see -profile-interval, -profile-retain)")
+	profileEvery := flag.Duration("profile-interval", 30*time.Second, "cadence of the rotating profile capture for -profile-dir")
+	profileRetain := flag.Int("profile-retain", 4, "profiles of each kind retained in -profile-dir")
 	flag.Parse()
 
 	if *list {
@@ -136,6 +148,35 @@ func main() {
 		opts.Obs = obs.DefaultOptions()
 		opts.Obs.Enabled = true
 	}
+	opts.FlightRec.Dir = *flightrecDir
+
+	// The rotating profiler is driven from a wall-clock ticker here in
+	// the command — package obs is deterministic by contract and owns
+	// no clock. One explicit Tick starts the first CPU window covering
+	// the replay; in serving mode a goroutine keeps the cadence, in
+	// one-shot mode main closes the window itself after the replay.
+	var prof *obs.Profiler
+	if *profileDir != "" {
+		var err error
+		if prof, err = obs.NewProfiler(*profileDir, *profileRetain); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: profiler:", err)
+			os.Exit(1)
+		}
+		if err := prof.Tick(); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: profiler:", err)
+			os.Exit(1)
+		}
+		if *metricsAddr != "" {
+			//superfe:goroutine-ok process-lifetime ticker: serving mode blocks on select{} until Ctrl-C, so the profiler's only shutdown edge is process exit
+			go func() {
+				for range time.Tick(*profileEvery) {
+					if err := prof.Tick(); err != nil {
+						fmt.Fprintln(os.Stderr, "superfe: profiler:", err)
+					}
+				}
+			}()
+		}
+	}
 
 	var sw pipeStats
 	var src obs.Source
@@ -204,6 +245,22 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *flightrecOut != "" {
+		if err := writeFlightRec(*flightrecOut, src); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: flight-recorder dump:", err)
+			os.Exit(1)
+		}
+	}
+	// One-shot mode: close out the CPU window that covered the replay.
+	// (Serving mode keeps rotating on the ticker instead.)
+	if prof != nil && *metricsAddr == "" {
+		if err := prof.Tick(); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: profiler:", err)
+		}
+		if err := prof.Stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "superfe: profiler:", err)
+		}
+	}
 
 	if *statsOnly {
 		fmt.Printf("trace      : %s (%s)\n", tr.Name, tr.Stats())
@@ -221,7 +278,7 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		fmt.Fprintf(os.Stderr, "superfe: replay done; serving telemetry on http://%s/metrics — Ctrl-C to exit\n", *metricsAddr)
+		fmt.Fprintf(os.Stderr, "superfe: replay done; serving telemetry on http://%s/metrics (also /status /snapshot /spans /flightrecorder /debug/pprof/) — Ctrl-C to exit\n", *metricsAddr)
 		select {}
 	}
 }
@@ -234,6 +291,9 @@ func serveMetrics(addr string, src obs.Source) {
 	if addr == "" {
 		return
 	}
+	// The live server is the debug surface: mount /debug/pprof/ next to
+	// the telemetry and admin endpoints.
+	src.Pprof = true
 	//superfe:goroutine-ok process-lifetime listener: the CLI blocks on select{} until Ctrl-C, so the server's only shutdown edge is process exit
 	go func() {
 		if err := http.ListenAndServe(addr, obs.NewHTTPHandler(src)); err != nil {
@@ -272,6 +332,24 @@ func writeMetrics(path string, src obs.Source) error {
 		w = f
 	}
 	return obs.WritePrometheus(w, snap)
+}
+
+// writeFlightRec dumps a final on-demand flight-recorder capture as
+// JSON to path ("-" = stdout).
+func writeFlightRec(path string, src obs.Source) error {
+	if src.FlightRec == nil {
+		return fmt.Errorf("flight recorder disabled")
+	}
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return obs.WriteFlightRecJSON(w, src.FlightRec())
 }
 
 // pipeStats bundles the merged pipeline counters from either

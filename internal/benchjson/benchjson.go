@@ -42,6 +42,12 @@ type Result struct {
 	Mode    string `json:"mode"` // "short" or "full"
 	Policy  string `json:"policy"`
 	Trace   string `json:"trace"`
+	// Variant distinguishes instrumentation states of the same
+	// workload: "bare" (telemetry off — the default, and what files
+	// written before the field existed mean) or "obs" (full telemetry
+	// on). Compare requires a match; the obs-vs-bare overhead gate is
+	// a deliberate cross-variant comparison done by the caller.
+	Variant string `json:"variant,omitempty"`
 
 	// The measurements. NsPerPkt is the gated metric; AllocsPerOp has
 	// zero tolerance (the hot path must stay allocation-free).
@@ -79,8 +85,18 @@ func Load(path string) (Result, error) {
 	if r.Schema != SchemaVersion {
 		return r, fmt.Errorf("%s: schema %d, this build reads %d", path, r.Schema, SchemaVersion)
 	}
+	if r.Variant == "" {
+		r.Variant = VariantBare
+	}
 	return r, nil
 }
+
+// Variant values. Files written before the field existed load as
+// VariantBare.
+const (
+	VariantBare = "bare"
+	VariantObs  = "obs"
+)
 
 // Compare gates current against baseline: an error means the gate
 // failed. tolerance is the allowed fractional ns/pkt slowdown (0.10 =
@@ -102,6 +118,10 @@ func Compare(baseline, current Result, tolerance float64) error {
 		return fmt.Errorf("workload mismatch: baseline %s/%s vs current %s/%s",
 			baseline.Policy, baseline.Trace, current.Policy, current.Trace)
 	}
+	if normVariant(baseline.Variant) != normVariant(current.Variant) {
+		return fmt.Errorf("variant mismatch: baseline %q vs current %q (diff against a baseline of the same variant; use the overhead gate for obs-vs-bare)",
+			normVariant(baseline.Variant), normVariant(current.Variant))
+	}
 	if tolerance < 0 {
 		return fmt.Errorf("negative tolerance %v", tolerance)
 	}
@@ -118,6 +138,13 @@ func Compare(baseline, current Result, tolerance float64) error {
 	return nil
 }
 
+func normVariant(v string) string {
+	if v == "" {
+		return VariantBare
+	}
+	return v
+}
+
 var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
 // Latest returns the highest-numbered BENCH_<n>.json in dir, or an
@@ -131,6 +158,38 @@ func Latest(dir string) (string, error) {
 		return "", fmt.Errorf("no BENCH_<n>.json files in %s", dir)
 	}
 	return path, nil
+}
+
+// LatestVariant returns the highest-numbered BENCH_<n>.json in dir
+// whose Variant (after legacy normalization) matches, or an error
+// when none does. This is what variant-aware gates resolve "latest"
+// through, so an obs record appended to the trajectory never becomes
+// the bare gate's baseline or vice versa.
+func LatestVariant(dir, variant string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", 0
+	for _, e := range entries {
+		m := benchName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		k, err := strconv.Atoi(m[1])
+		if err != nil || k <= bestN {
+			continue
+		}
+		r, err := Load(filepath.Join(dir, e.Name()))
+		if err != nil || r.Variant != normVariant(variant) {
+			continue
+		}
+		bestN, best = k, filepath.Join(dir, e.Name())
+	}
+	if bestN == 0 {
+		return "", fmt.Errorf("no BENCH_<n>.json with variant %q in %s", normVariant(variant), dir)
+	}
+	return best, nil
 }
 
 // NextPath returns the first unused BENCH_<n>.json path in dir

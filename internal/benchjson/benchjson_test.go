@@ -16,6 +16,7 @@ func base() Result {
 		Mode:       "short",
 		Policy:     "NPOD",
 		Trace:      "enterprise",
+		Variant:    VariantBare,
 		NsPerPkt:   400,
 		PktsPerSec: 2.5e6,
 		Iters:      1000,
@@ -103,12 +104,59 @@ func TestCompareRefusesMismatchedConfig(t *testing.T) {
 		{"workers", func(r *Result) { r.Workers = 4 }},
 		{"policy", func(r *Result) { r.Policy = "Kitsune" }},
 		{"trace", func(r *Result) { r.Trace = "campus" }},
+		{"variant", func(r *Result) { r.Variant = VariantObs }},
 	} {
 		cur := baseline
 		tc.mutate(&cur)
 		if err := Compare(baseline, cur, 0.10); err == nil {
 			t.Errorf("%s mismatch compared without error", tc.name)
 		}
+	}
+}
+
+// TestVariantLegacyNormalization: files written before the variant
+// field existed must load as bare, and an empty variant on either
+// side of Compare means bare too.
+func TestVariantLegacyNormalization(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	legacy := base()
+	legacy.Variant = ""
+	if err := Save(path, legacy); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Variant != VariantBare {
+		t.Fatalf("legacy file loaded with variant %q, want %q", got.Variant, VariantBare)
+	}
+	cur := base()
+	cur.Variant = ""
+	if err := Compare(got, cur, 0.10); err != nil {
+		t.Fatalf("empty variant did not normalize to bare in Compare: %v", err)
+	}
+}
+
+func TestLatestVariant(t *testing.T) {
+	dir := t.TempDir()
+	bare, obsRun := base(), base()
+	obsRun.Variant = VariantObs
+	for name, r := range map[string]Result{
+		"BENCH_1.json": bare, "BENCH_2.json": obsRun, "BENCH_3.json": bare,
+	} {
+		if err := Save(filepath.Join(dir, name), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p, err := LatestVariant(dir, VariantBare); err != nil || filepath.Base(p) != "BENCH_3.json" {
+		t.Fatalf("LatestVariant(bare) = %q, %v; want BENCH_3.json", p, err)
+	}
+	if p, err := LatestVariant(dir, VariantObs); err != nil || filepath.Base(p) != "BENCH_2.json" {
+		t.Fatalf("LatestVariant(obs) = %q, %v; want BENCH_2.json", p, err)
+	}
+	if _, err := LatestVariant(dir, "profiled"); err == nil {
+		t.Fatal("LatestVariant for an absent variant did not error")
 	}
 }
 

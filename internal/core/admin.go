@@ -1,0 +1,211 @@
+// Admin surface of the sequential engine: the always-on flight
+// recorder, the health model derived from the graceful-degradation
+// pressure controller, the /status cache, and anomaly dump files.
+//
+// Concurrency contract: everything here except Status and FlightDump
+// runs on the engine goroutine (the one calling Process/Flush). The
+// /status report and the flight-recorder dump are served to the HTTP
+// goroutine from a mutex-guarded cache refreshed at quiescence points
+// — construction, degraded-mode transitions, anomalies, interval
+// snapshots and Flush — with the health state overlaid live from an
+// atomic, so degraded-mode transitions are visible while the replay
+// runs even though the counters are only exact as of the last
+// quiescence.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"superfe/internal/obs"
+)
+
+// FlightRecConfig configures the always-on flight recorder.
+type FlightRecConfig struct {
+	// Disable turns the recorder off. It is on by default — even with
+	// telemetry disabled — because a flight recorder that has to be
+	// enabled before the incident is a log, not a flight recorder.
+	Disable bool
+	// Dir, when non-empty, receives anomaly dump files named
+	// flightrec_<ordinal>_<reason>.json, pruned to the Retain newest.
+	Dir string
+	// Retain bounds the dump files kept in Dir (<= 0 selects 8).
+	Retain int
+	// Tuning sizes the event ring and the anomaly triggers; the zero
+	// value selects the obs defaults.
+	Tuning obs.FlightRecOptions
+}
+
+// frDumpRetain is the default anomaly-dump retention bound.
+const frDumpRetain = 8
+
+// frClock is the engine's logical clock for flight-recorder events:
+// packets the switch has accepted. NIC-side events recorded by the
+// runtime itself use NIC cells instead — clocks are per-domain and
+// only ordered within one (FREvent.Seq orders a whole ring).
+func (fe *SuperFE) frClock() uint64 { return fe.sw.Stats().PktsIn }
+
+// onAnomaly is the sequential engine's trigger handler: it runs
+// synchronously on the engine goroutine (inside the Record that
+// tripped the trigger), captures the event ring, writes the dump file
+// and refreshes the admin caches. The FRDumped marker is recorded
+// after the capture so each dump carries the markers of previous
+// dumps only.
+func (fe *SuperFE) onAnomaly(a obs.Anomaly) {
+	fe.anomalies++
+	fe.lastAnomaly = a.Reason
+	fe.frDumps++
+	d := &obs.FRDump{
+		Reason: a.Reason,
+		Clock:  a.Clock,
+		Shard:  a.Shard,
+		Health: obs.Health(fe.health.Load()),
+		Events: fe.fr.Events(),
+	}
+	if fe.frDir != "" {
+		if err := writeFRDumpFile(fe.frDir, fe.frRetain, fe.frDumps, a.Reason, d); err != nil {
+			fe.fail(fmt.Errorf("core: flight-recorder dump: %w", err))
+		}
+	}
+	fe.fr.Record(obs.FRDumped, a.Clock, int64(fe.frDumps))
+	fe.refreshAdmin()
+}
+
+// refreshAdmin rebuilds the mutex-guarded /status and /flightrecorder
+// caches. No-op on parallel-engine shards (the router maintains its
+// own merged caches).
+func (fe *SuperFE) refreshAdmin() {
+	if !fe.admin {
+		return
+	}
+	st := fe.buildStatus()
+	var d *obs.FRDump
+	if fe.fr != nil {
+		d = &obs.FRDump{
+			Reason: "on-demand",
+			Clock:  st.Clock,
+			Shard:  -1,
+			Health: obs.Health(fe.health.Load()),
+			Events: fe.fr.Events(),
+		}
+	}
+	fe.statusMu.Lock()
+	fe.status, fe.frCache = st, d
+	fe.statusMu.Unlock()
+}
+
+// buildStatus assembles the /status report from the engine's own
+// counters. Engine goroutine only.
+func (fe *SuperFE) buildStatus() obs.StatusReport {
+	sw := fe.sw.Stats()
+	ns := fe.nic.Stats()
+	fs := fe.inj.Stats()
+	h := obs.Health(fe.health.Load())
+	deg := 0
+	if fe.degraded {
+		deg = 1
+	}
+	return obs.StatusReport{
+		Health:         h.String(),
+		Workers:        1,
+		Policy:         fe.plan.Policy.Name(),
+		Clock:          sw.PktsIn,
+		DegradedShards: deg,
+		Anomalies:      fe.anomalies,
+		LastAnomaly:    fe.lastAnomaly,
+		Shards: []obs.ShardStatus{{
+			Shard:               fe.shard,
+			Health:              h.String(),
+			Pkts:                sw.PktsIn,
+			Quarantined:         fs.Quarantined,
+			Retries:             fs.Retries,
+			RetryDrops:          fs.RetryDrops,
+			ShedCells:           sw.ShedCells,
+			EMEMDrops:           ns.EMEMDrops,
+			DegradedTransitions: fs.DegradedTransitions,
+			FREvents:            fe.fr.Seq(),
+		}},
+	}
+}
+
+// Status returns the engine's health report: counters exact at the
+// last quiescence point, health overlaid live. Safe from any
+// goroutine.
+func (fe *SuperFE) Status() *obs.StatusReport {
+	fe.statusMu.Lock()
+	st := fe.status
+	st.Shards = append([]obs.ShardStatus(nil), st.Shards...)
+	fe.statusMu.Unlock()
+	h := obs.Health(fe.health.Load())
+	st.Health = h.String()
+	if len(st.Shards) > 0 {
+		st.Shards[0].Health = h.String()
+	}
+	if h >= obs.HealthDegraded {
+		st.DegradedShards = 1
+	} else {
+		st.DegradedShards = 0
+	}
+	return &st
+}
+
+// FlightDump returns the cached flight-recorder dump (current ring
+// state as of the last quiescence point), or nil when the recorder is
+// disabled. Safe from any goroutine; the returned dump is immutable.
+func (fe *SuperFE) FlightDump() *obs.FRDump {
+	fe.statusMu.Lock()
+	defer fe.statusMu.Unlock()
+	return fe.frCache
+}
+
+// FlightRecorder exposes the engine's recorder (nil when disabled) —
+// quiescent reads only, per the obs contract.
+func (fe *SuperFE) FlightRecorder() *obs.FlightRecorder { return fe.fr }
+
+// writeFRDumpFile writes one anomaly dump into dir and prunes old
+// dumps down to retain. Ordinal-numbered names sort lexicographically
+// in dump order (the same scheme as the obs.Profiler files), so
+// retention and fixed-seed reproducibility need no timestamps.
+func writeFRDumpFile(dir string, retain, ordinal int, reason string, d *obs.FRDump) error {
+	if retain <= 0 {
+		retain = frDumpRetain
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteFlightRecJSON(&buf, d); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("flightrec_%06d_%s.json", ordinal, reason)
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	return pruneFRDumps(dir, retain)
+}
+
+// pruneFRDumps keeps the newest retain dump files.
+func pruneFRDumps(dir string, retain int) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "flightrec_") && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for len(names) > retain {
+		if err := os.Remove(filepath.Join(dir, names[0])); err != nil {
+			return err
+		}
+		names = names[1:]
+	}
+	return nil
+}

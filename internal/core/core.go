@@ -21,6 +21,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"superfe/internal/faults"
 	"superfe/internal/feature"
@@ -56,6 +58,10 @@ type Options struct {
 	// index, so identical seeds reproduce identical fault sequences.
 	// Nil keeps every delivery on the reliable fast path.
 	Faults *faults.Plan
+	// FlightRec configures the always-on anomaly flight recorder (see
+	// FlightRecConfig); the zero value enables it with defaults and no
+	// dump directory.
+	FlightRec FlightRecConfig
 }
 
 // DefaultOptions returns the paper's prototype configuration (§7).
@@ -96,6 +102,27 @@ type SuperFE struct {
 	degraded bool
 	winMsgs  int
 	winStall int64
+
+	// Admin surface (admin.go). fr is the always-on flight recorder
+	// (nil only when FlightRecConfig.Disable); health publishes the
+	// current health model state for the live /status overlay. The
+	// remaining fields are engine-goroutine-owned except status/frCache
+	// behind statusMu. admin marks a standalone (sequential) engine —
+	// parallel-engine shards leave it false and let the router own the
+	// merged admin caches and dump files.
+	fr          *obs.FlightRecorder
+	health      atomic.Uint32 // obs.Health
+	shard       int
+	admin       bool
+	shedAtEnter uint64
+	anomalies   uint64
+	lastAnomaly string
+	frDumps     int
+	frDir       string
+	frRetain    int
+	statusMu    sync.Mutex
+	status      obs.StatusReport
+	frCache     *obs.FRDump
 }
 
 // heldFrame is one reorder-delayed frame: its wire encoding (the
@@ -118,8 +145,21 @@ func New(opts Options, pol *policy.Policy, sink feature.Sink) (*SuperFE, error) 
 		return nil, err
 	}
 	if fe.obs != nil {
-		fe.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, fe.obs.Registry.Snapshot)
+		// The interval capture doubles as the admin-cache refresh
+		// cadence: both want a periodic engine-goroutine quiescence.
+		fe.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, func() *obs.Snapshot {
+			fe.refreshAdmin()
+			return fe.obs.Registry.Snapshot()
+		})
 	}
+	// Standalone engine: own the admin caches and anomaly dump files.
+	fe.admin = true
+	fe.frDir = opts.FlightRec.Dir
+	fe.frRetain = opts.FlightRec.Retain
+	if fe.fr != nil {
+		fe.fr.OnAnomaly = fe.onAnomaly
+	}
+	fe.refreshAdmin()
 	return fe, nil
 }
 
@@ -141,6 +181,18 @@ func newFromPlan(opts Options, plan *policy.Plan, shard int, sink feature.Sink) 
 		opts.Switch.Obs = pipe.Switch
 		opts.NIC.Obs = pipe.NIC
 	}
+	// The flight recorder is always on (unlike the opt-in telemetry):
+	// its ring is fixed, recording is an indexed write, and the events
+	// it sees — degradation, quarantine, backpressure — are rare by
+	// construction. Both engines of the pair record into it, which is
+	// sound because the switch and NIC run synchronously on the one
+	// goroutine that owns this engine.
+	var fr *obs.FlightRecorder
+	if !opts.FlightRec.Disable {
+		fr = obs.NewFlightRecorder(shard, opts.FlightRec.Tuning)
+		opts.Switch.FlightRec = fr
+		opts.NIC.FlightRec = fr
+	}
 	var inj *faults.Injector
 	if opts.Faults != nil {
 		if err := opts.Faults.Validate(); err != nil {
@@ -154,7 +206,7 @@ func newFromPlan(opts Options, plan *policy.Plan, shard int, sink feature.Sink) 
 			inj.OnInject = func(k faults.Kind) { eng.FaultsInjected[k].Inc() }
 		}
 	}
-	fe := &SuperFE{opts: opts, plan: plan, obs: pipe, inj: inj}
+	fe := &SuperFE{opts: opts, plan: plan, obs: pipe, inj: inj, fr: fr, shard: shard}
 	if pipe != nil {
 		fe.eng = pipe.Engine
 	}
@@ -297,6 +349,7 @@ func (fe *SuperFE) forward(m gpv.Message) {
 				if fe.eng != nil {
 					fe.eng.DeliverRetryDrops.Inc()
 				}
+				fe.fr.Record(obs.FRRetryDrop, fe.frClock(), int64(attempt))
 				return
 			}
 			attempt++
@@ -304,17 +357,21 @@ func (fe *SuperFE) forward(m gpv.Message) {
 			if fe.eng != nil {
 				fe.eng.DeliverRetries.Inc()
 			}
+			fe.fr.Record(obs.FRRetry, fe.frClock(), int64(attempt))
 		}
 	}
 	fe.deliverDirect(m)
 }
 
-// quarantine counts one rejected frame.
+// quarantine counts one rejected frame. Every quarantine lands in the
+// flight recorder — the quarantine-rate spike trigger needs the full
+// event stream, and quarantines are injected-fault-rate rare.
 func (fe *SuperFE) quarantine() {
 	fe.inj.CountQuarantined()
 	if fe.eng != nil {
 		fe.eng.FramesQuarantined.Inc()
 	}
+	fe.fr.Record(obs.FRQuarantine, fe.frClock(), 0)
 }
 
 // ageHeld advances the reorder hold queue by one delivered frame and
@@ -365,10 +422,28 @@ func (fe *SuperFE) tickDegrade() {
 	} else if fe.degraded && fe.winStall <= p.DegradeExitCycles {
 		fe.setDegraded(false)
 	}
+	// Health refinement at window close: degraded escalates to shedding
+	// once the switch has actually dropped cells this episode; a
+	// non-degraded window with accumulated stalls is pressured — the
+	// hysteresis has seen pressure but not enough to trip.
+	switch {
+	case fe.degraded:
+		h := obs.HealthDegraded
+		if fe.sw.Stats().ShedCells > fe.shedAtEnter {
+			h = obs.HealthShedding
+		}
+		fe.health.Store(uint32(h))
+	case fe.winStall > 0:
+		fe.health.Store(uint32(obs.HealthPressured))
+	default:
+		fe.health.Store(uint32(obs.HealthHealthy))
+	}
 	fe.winMsgs, fe.winStall = 0, 0
 }
 
-// setDegraded flips degraded mode on the engine and its switch.
+// setDegraded flips degraded mode on the engine and its switch,
+// records the transition in the flight recorder (entering fires the
+// degraded-enter anomaly trigger) and updates the health state.
 func (fe *SuperFE) setDegraded(on bool) {
 	fe.degraded = on
 	fe.sw.SetDegraded(on)
@@ -381,6 +456,15 @@ func (fe *SuperFE) setDegraded(on bool) {
 		}
 		fe.eng.DegradedMode.Set(v)
 	}
+	if on {
+		fe.shedAtEnter = fe.sw.Stats().ShedCells
+		fe.health.Store(uint32(obs.HealthDegraded))
+		fe.fr.Record(obs.FRDegradedEnter, fe.frClock(), fe.winStall)
+	} else {
+		fe.health.Store(uint32(obs.HealthHealthy))
+		fe.fr.Record(obs.FRDegradedExit, fe.frClock(), fe.winStall)
+	}
+	fe.refreshAdmin()
 }
 
 // fail records the first wire error.
@@ -400,6 +484,9 @@ func (fe *SuperFE) Err() error { return fe.wireErr }
 //superfe:hotpath
 func (fe *SuperFE) Process(p *packet.Packet) bool {
 	ok := fe.sw.Process(p)
+	if fe.obs != nil {
+		fe.nic.PublishObs()
+	}
 	fe.rec.Tick()
 	return ok
 }
@@ -409,16 +496,25 @@ func (fe *SuperFE) Process(p *packet.Packet) bool {
 //
 //superfe:hotpath
 func (fe *SuperFE) processKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
-	return fe.sw.ProcessKeyed(p, cgKey, hash)
+	ok := fe.sw.ProcessKeyed(p, cgKey, hash)
+	if fe.obs != nil {
+		fe.nic.PublishObs()
+	}
+	return ok
 }
 
 // processColumns runs one columnar batch — keys, hashes, filter
 // verdicts and metadata fields pre-computed by the parallel engine's
-// router — through the deployed extractor.
+// router — through the deployed extractor. The switch publishes its
+// telemetry deltas at the end of the batch itself; the NIC's are
+// published here, at the same boundary.
 //
 //superfe:hotpath
 func (fe *SuperFE) processColumns(c *switchsim.Columns) {
 	fe.sw.ProcessColumns(c)
+	if fe.obs != nil {
+		fe.nic.PublishObs()
+	}
 }
 
 // Flush drains the switch cache and emits per-group feature vectors.
@@ -431,6 +527,11 @@ func (fe *SuperFE) Flush() {
 	}
 	fe.held = fe.held[:0]
 	fe.nic.Flush()
+	if fe.obs != nil {
+		fe.nic.PublishObs()
+	}
+	fe.fr.Record(obs.FRFlush, fe.frClock(), 0)
+	fe.refreshAdmin()
 }
 
 // Plan exposes the compiled plan (for inspection and the experiment
@@ -487,14 +588,20 @@ func (fe *SuperFE) ObsTimelines() []obs.Timeline {
 }
 
 // ObsSource adapts the engine to the obs HTTP handler and dump
-// writers. Endpoints for disabled facilities are left nil.
+// writers. Endpoints for disabled facilities are left nil; /status is
+// always available (the health model does not depend on telemetry)
+// and /flightrecorder whenever the recorder is enabled. The
+// sequential engine has no batches, so /spans stays nil by design.
 func (fe *SuperFE) ObsSource() obs.Source {
-	src := obs.Source{Scrape: fe.ObsSnapshot}
+	src := obs.Source{Scrape: fe.ObsSnapshot, Status: fe.Status}
 	if fe.rec != nil {
 		src.Series = fe.ObsSeries
 	}
 	if fe.obs != nil && fe.obs.Tracer != nil {
 		src.Timelines = fe.ObsTimelines
+	}
+	if fe.fr != nil {
+		src.FlightRec = fe.FlightDump
 	}
 	return src
 }

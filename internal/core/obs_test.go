@@ -134,9 +134,58 @@ func TestObsMergeMatchesSequential(t *testing.T) {
 	}
 }
 
+// stripSchedulingProm removes the superfe_ring_* series from a
+// Prometheus exposition. The ring backpressure metrics (parks, spins,
+// wakes, occupancy high-water) measure real goroutine scheduling,
+// which a fixed seed deliberately does not pin — every other series
+// is pipeline semantics and must stay byte-identical.
+func stripSchedulingProm(b []byte) []byte {
+	var out []byte
+	for _, line := range bytes.Split(b, []byte("\n")) {
+		if bytes.Contains(line, []byte("superfe_ring_")) {
+			continue
+		}
+		out = append(out, line...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// stripSchedulingCSV removes the superfe_ring_* columns from a series
+// CSV (same rationale as stripSchedulingProm).
+func stripSchedulingCSV(b []byte) []byte {
+	lines := bytes.Split(bytes.TrimRight(b, "\n"), []byte("\n"))
+	if len(lines) == 0 {
+		return b
+	}
+	header := bytes.Split(lines[0], []byte(","))
+	keep := make([]bool, len(header))
+	for i, name := range header {
+		keep[i] = !bytes.Contains(name, []byte("superfe_ring_"))
+	}
+	var out []byte
+	for _, line := range lines {
+		fields := bytes.Split(line, []byte(","))
+		first := true
+		for i, f := range fields {
+			if i < len(keep) && !keep[i] {
+				continue
+			}
+			if !first {
+				out = append(out, ',')
+			}
+			out = append(out, f...)
+			first = false
+		}
+		out = append(out, '\n')
+	}
+	return out
+}
+
 // TestObsDeterministicDumps asserts byte-identical telemetry under a
 // fixed seed: two independent 4-worker runs must render the same
-// Prometheus exposition and the same interval-series CSV.
+// Prometheus exposition and the same interval-series CSV, modulo the
+// scheduling-domain ring series (stripped above).
 func TestObsDeterministicDumps(t *testing.T) {
 	run := func() (promText, seriesCSV []byte) {
 		t.Helper()
@@ -167,6 +216,8 @@ func TestObsDeterministicDumps(t *testing.T) {
 	}
 	p1, c1 := run()
 	p2, c2 := run()
+	p1, p2 = stripSchedulingProm(p1), stripSchedulingProm(p2)
+	c1, c2 = stripSchedulingCSV(c1), stripSchedulingCSV(c2)
 	if !bytes.Equal(p1, p2) {
 		t.Error("Prometheus dumps differ between fixed-seed runs")
 	}

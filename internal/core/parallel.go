@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"superfe/internal/faults"
 	"superfe/internal/feature"
@@ -89,6 +90,14 @@ type pshard struct {
 	pend     []pendingVec
 	pendVals []float64
 	done     chan struct{}
+
+	// Span tracing: idx and batches identify spans (batches is the
+	// router-owned dispatch ordinal, incremented per dispatched batch);
+	// spans is the shard's ring from its obs pipeline (nil when
+	// telemetry or span sampling is off).
+	idx     int32
+	batches uint64
+	spans   *obs.SpanRing
 }
 
 // ParallelEngine is a sharded SuperFE deployment — the software
@@ -130,6 +139,39 @@ type ParallelEngine struct {
 	obsReg     *obs.Registry
 	shardPkts  []obs.Counter
 	rec        *obs.Recorder
+
+	// pkts is the router's logical clock (packets routed), the clock
+	// domain of router flight-recorder events and span fill marks;
+	// pubPkts republishes it atomically at each dispatch/barrier for
+	// the live /status overlay.
+	pkts    uint64
+	pubPkts atomic.Uint64
+
+	// fr is the router's own flight recorder (shard -1: barriers, ring
+	// parks, free-ring starvation, dump markers); nil when disabled.
+	// Anomalies — the router's own and every shard's — are pended
+	// first-wins into frPend (shard triggers fire on shard goroutines
+	// and the router's fire inside a blocked push, where no barrier can
+	// run) and materialized by the router at the next barrier; inControl
+	// guards against re-entering a barrier from its own dispatches.
+	fr        *obs.FlightRecorder
+	frPend    atomic.Pointer[obs.Anomaly]
+	inControl bool
+	frDir     string
+	frRetain  int
+	frDumps   int
+
+	// Admin caches, rebuilt at every barrier (a quiescence point: all
+	// shard rings drained, shard-goroutine writes ordered before the
+	// router by the ack channel) and served to the HTTP goroutine
+	// behind adminMu with health/clock overlaid live from atomics.
+	anomalies   uint64
+	lastAnomaly string
+	dumpErr     error
+	adminMu     sync.Mutex
+	status      obs.StatusReport
+	spanCache   []obs.BatchSpan
+	frCache     *obs.FRDump
 }
 
 // NewParallel compiles the policy once and deploys it on Workers
@@ -161,14 +203,29 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		metaFields: plan.Switch.MetadataFields,
 		sink:       sink,
 	}
+	if !opts.FlightRec.Disable {
+		// The router's own recorder (shard -1). Its triggers (sustained
+		// ring-full) can fire inside a blocked push, so they pend like
+		// the shard anomalies instead of materializing inline.
+		e.fr = obs.NewFlightRecorder(-1, opts.FlightRec.Tuning)
+		e.fr.OnAnomaly = e.pendAnomaly
+		e.frDir = opts.FlightRec.Dir
+		e.frRetain = opts.FlightRec.Retain
+	}
 	nf := len(plan.Switch.MetadataFields)
 	for i := 0; i < opts.Workers; i++ {
 		sh := &pshard{
 			eng:  e,
+			idx:  int32(i),
 			in:   newSPSCRing(opts.QueueDepth, 0),
 			free: newSPSCRing(opts.QueueDepth+1, 0),
 			done: make(chan struct{}),
 		}
+		// Both hooked ring sides run on the router goroutine (in-ring
+		// producer, free-ring consumer), so the router's recorder and
+		// clock are safe here.
+		sh.in.hookProdFR(e.fr, obs.FRRingPark, &e.pkts)
+		sh.free.hookConsFR(e.fr, obs.FRFreeStarve, &e.pkts)
 		var shardSink feature.Sink
 		if opts.DeterministicMerge {
 			// Shard-local buffer: no lock needed, emitted in shard
@@ -181,6 +238,17 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		if err != nil {
 			e.stop()
 			return nil, err
+		}
+		if p := sh.fe.Obs(); p != nil {
+			sh.spans = p.Spans
+			sh.in.instrumentIn(p.Ring)
+			sh.free.instrumentFree(p.Ring)
+		}
+		if sh.fe.fr != nil {
+			// Shard anomaly triggers fire on the shard goroutine; pend
+			// them (thread-safe CAS) for the router to materialize at
+			// the next barrier.
+			sh.fe.fr.OnAnomaly = e.pendAnomaly
 		}
 		// Pre-size the recycled columnar batches: one being filled by
 		// the router, QueueDepth in flight or on the recycle ring.
@@ -207,6 +275,7 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		e.obsReg.Seal()
 		e.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, e.captureQuiesced)
 	}
+	e.refreshAdmin()
 	return e, nil
 }
 
@@ -251,10 +320,45 @@ func (sh *pshard) run() {
 			msg.ctl <- struct{}{}
 			continue
 		}
-		sh.fe.processColumns(msg.cols)
+		if msg.cols.Span.Sampled {
+			sh.traceColumns(msg.cols)
+		} else {
+			sh.fe.processColumns(msg.cols)
+		}
 		msg.cols.Reset()
 		sh.free.push(shardMsg{cols: msg.cols})
 	}
+}
+
+// traceColumns processes a span-sampled batch, bracketing the
+// extraction with the shard's own switch/NIC counters: the switch
+// delivers evicted MGPVs synchronously, so all NIC work the batch
+// caused lands inside the bracket. The completed span is copied out
+// of the batch (which is about to be recycled) into the shard's ring.
+// Stats are value copies on the stack — no allocation.
+func (sh *pshard) traceColumns(c *switchsim.Columns) {
+	sp := c.Span
+	sw0 := sh.fe.SwitchStats()
+	nic0 := sh.fe.NICStats()
+	sh.fe.processColumns(c)
+	sw1 := sh.fe.SwitchStats()
+	nic1 := sh.fe.NICStats()
+	sp.SwPktsIn = uint32(sw1.PktsIn - sw0.PktsIn)
+	sp.SwFiltered = uint32(sw1.PktsFiltered - sw0.PktsFiltered)
+	sp.SwCellsOut = uint32(sw1.CellsOut - sw0.CellsOut)
+	sp.SwMsgsOut = uint32(sw1.MsgsOut - sw0.MsgsOut)
+	var ev uint64
+	for i := range sw1.Evictions {
+		ev += sw1.Evictions[i] - sw0.Evictions[i]
+	}
+	sp.SwEvictions = uint32(ev)
+	sp.SwShed = uint32(sw1.ShedCells - sw0.ShedCells)
+	sp.NICMsgs = uint32(nic1.Msgs - nic0.Msgs)
+	sp.NICMGPVs = uint32(nic1.MGPVs - nic0.MGPVs)
+	sp.NICCells = uint32(nic1.Cells - nic0.Cells)
+	sp.NICVectors = uint32(nic1.Vectors - nic0.Vectors)
+	sp.NICEMEMDrops = uint32(nic1.EMEMDrops - nic0.EMEMDrops)
+	sh.spans.Record(sp)
 }
 
 // bufferVec is the streaming-mode shard sink: it copies the vector
@@ -307,6 +411,7 @@ func shardIndex(h uint32, n int) int {
 //
 //superfe:hotpath
 func (e *ParallelEngine) Process(p *packet.Packet) bool {
+	e.pkts++
 	key, _ := flowkey.KeyFor(e.cg, p.Tuple)
 	h := flowkey.HashKey(key)
 	si := shardIndex(h, len(e.shards))
@@ -317,7 +422,18 @@ func (e *ParallelEngine) Process(p *packet.Packet) bool {
 		e.dispatch(sh)
 	}
 	if e.obsEnabled {
-		e.shardPkts[si].Inc()
+		// Span lottery: a batch is traced when its first row's CG hash
+		// wins the 1-in-K sampling — the hash is already in hand, so
+		// the steady-state cost is one mask test per batch. The shard
+		// routing counter is charged per batch in dispatch, not here:
+		// an atomic add per packet is exactly the kind of diffuse tax
+		// the obs-overhead gate exists to catch.
+		if sh.cur.N == 1 && sh.spans.Sampled(h) {
+			sp := &sh.cur.Span
+			sp.Sampled = true
+			sp.Hash = h
+			sp.FillStart = e.pkts
+		}
 		e.rec.Tick()
 	}
 	return pass
@@ -329,14 +445,48 @@ func (e *ParallelEngine) Process(p *packet.Packet) bool {
 //
 //superfe:hotpath
 func (e *ParallelEngine) dispatch(sh *pshard) {
-	sh.in.push(shardMsg{cols: sh.cur})
+	sh.batches++
+	c := sh.cur
+	if e.obsEnabled {
+		// Batch-granular routing accounting: every packet lands in
+		// exactly one dispatched batch (barriers dispatch partial
+		// ones), so charging c.N here conserves the total while
+		// amortizing one atomic add over the whole batch.
+		e.shardPkts[sh.idx].Add(uint64(c.N))
+	}
+	if c.Span.Sampled {
+		// Complete the ingress half of the span before the hand-off
+		// (nothing may touch the batch after the push) — the traced
+		// push fills the enqueue-evidence fields itself, pre-publication.
+		sp := &c.Span
+		sp.Shard = sh.idx
+		sp.Batch = sh.batches
+		sp.Rows = int32(c.N)
+		sp.FillEnd = e.pkts
+		sh.in.pushTraced(shardMsg{cols: c}, sp)
+	} else {
+		sh.in.push(shardMsg{cols: c})
+	}
 	m, _ := sh.free.pop() // never closed: always ok
 	sh.cur = m.cols
+	e.pubPkts.Store(e.pkts)
+	if e.frPend.Load() != nil && !e.inControl {
+		e.anomalyBarrier()
+	}
 }
 
 // barrier dispatches partial batches and waits until every shard has
-// drained its ring (optionally flushing shard state first).
+// drained its ring (optionally flushing shard state first). Every
+// barrier is also an admin quiescence point: it lands in the router's
+// flight recorder, materializes any pended anomaly (the shards are
+// provably idle, so their event rings are safe to merge) and rebuilds
+// the /status, /spans and /flightrecorder caches. The allocations
+// this costs amortize over the packets between barriers, like the
+// interval snapshots.
+//
+//superfe:coldpath
 func (e *ParallelEngine) barrier(flush bool) {
+	e.inControl = true
 	ack := make(chan struct{}, len(e.shards))
 	for _, sh := range e.shards {
 		if sh.cur.N > 0 {
@@ -347,6 +497,196 @@ func (e *ParallelEngine) barrier(flush bool) {
 	for range e.shards {
 		<-ack
 	}
+	arg := int64(0)
+	if flush {
+		arg = 1
+	}
+	e.fr.Record(obs.FRBarrier, e.pkts, arg)
+	e.materializePending()
+	e.refreshAdmin()
+	e.pubPkts.Store(e.pkts)
+	e.inControl = false
+}
+
+// anomalyBarrier is the dispatch-time anomaly poll: a pended anomaly
+// forces a quiescing barrier, whose tail end materializes it.
+//
+//superfe:coldpath
+func (e *ParallelEngine) anomalyBarrier() {
+	e.barrier(false)
+}
+
+// pendAnomaly parks an anomaly for the router, first-wins: triggers
+// fire on shard goroutines (quarantine spikes, degraded entry) or
+// inside a blocked router push (sustained ring-full), and neither
+// place can run a barrier. Coalescing concurrent anomalies to one is
+// fine — the dump captures the full merged state anyway, and the
+// per-recorder cooldown bounds the pend rate.
+func (e *ParallelEngine) pendAnomaly(a obs.Anomaly) {
+	cp := a
+	e.frPend.CompareAndSwap(nil, &cp)
+}
+
+// materializePending turns a pended anomaly into counters, a dump
+// file and the FRDumped marker. Must run quiesced on the router; the
+// marker is recorded after the capture so each dump carries only the
+// markers of previous dumps.
+func (e *ParallelEngine) materializePending() {
+	a := e.frPend.Swap(nil)
+	if a == nil {
+		return
+	}
+	e.anomalies++
+	e.lastAnomaly = a.Reason
+	e.frDumps++
+	d := e.buildDump(a.Reason, a.Clock, a.Shard)
+	if e.frDir != "" {
+		if err := writeFRDumpFile(e.frDir, e.frRetain, e.frDumps, a.Reason, d); err != nil && e.dumpErr == nil {
+			e.dumpErr = fmt.Errorf("core: flight-recorder dump: %w", err)
+		}
+	}
+	e.fr.Record(obs.FRDumped, a.Clock, int64(e.frDumps))
+}
+
+// buildDump merges every shard's event ring plus the router's into
+// one dump. Quiesced router goroutine only.
+func (e *ParallelEngine) buildDump(reason string, clock uint64, shard int32) *obs.FRDump {
+	recs := make([]*obs.FlightRecorder, 0, len(e.shards)+1)
+	for _, sh := range e.shards {
+		recs = append(recs, sh.fe.fr)
+	}
+	recs = append(recs, e.fr)
+	return &obs.FRDump{
+		Reason: reason,
+		Clock:  clock,
+		Shard:  shard,
+		Health: e.healthNow(),
+		Events: obs.MergeFREvents(recs...),
+	}
+}
+
+// healthNow is the merged live health: the max over shard states
+// (atomics, safe from any goroutine).
+func (e *ParallelEngine) healthNow() obs.Health {
+	h := obs.HealthHealthy
+	for _, sh := range e.shards {
+		if sh2 := obs.Health(sh.fe.health.Load()); sh2 > h {
+			h = sh2
+		}
+	}
+	return h
+}
+
+// refreshAdmin rebuilds the admin caches. Quiesced router goroutine
+// only.
+func (e *ParallelEngine) refreshAdmin() {
+	st := e.buildStatus()
+	var spans []obs.BatchSpan
+	if e.obsEnabled {
+		spans = e.mergedSpans()
+	}
+	var d *obs.FRDump
+	if e.fr != nil {
+		d = e.buildDump("on-demand", e.pkts, -1)
+	}
+	e.adminMu.Lock()
+	e.status, e.spanCache, e.frCache = st, spans, d
+	e.adminMu.Unlock()
+}
+
+// buildStatus assembles the merged /status report from the quiesced
+// shard counters.
+func (e *ParallelEngine) buildStatus() obs.StatusReport {
+	st := obs.StatusReport{
+		Workers:     len(e.shards),
+		Policy:      e.plan.Policy.Name(),
+		Clock:       e.pkts,
+		Anomalies:   e.anomalies,
+		LastAnomaly: e.lastAnomaly,
+		Shards:      make([]obs.ShardStatus, 0, len(e.shards)),
+	}
+	worst := obs.HealthHealthy
+	for i, sh := range e.shards {
+		fe := sh.fe
+		h := obs.Health(fe.health.Load())
+		if h > worst {
+			worst = h
+		}
+		if fe.degraded {
+			st.DegradedShards++
+		}
+		sw := fe.SwitchStats()
+		ns := fe.NICStats()
+		fs := fe.FaultStats()
+		st.Shards = append(st.Shards, obs.ShardStatus{
+			Shard:               i,
+			Health:              h.String(),
+			Pkts:                sw.PktsIn,
+			Quarantined:         fs.Quarantined,
+			Retries:             fs.Retries,
+			RetryDrops:          fs.RetryDrops,
+			ShedCells:           sw.ShedCells,
+			EMEMDrops:           ns.EMEMDrops,
+			DegradedTransitions: fs.DegradedTransitions,
+			FREvents:            fe.fr.Seq(),
+		})
+	}
+	st.Health = worst.String()
+	return st
+}
+
+// mergedSpans merges the quiesced shard span rings in (Shard, Batch)
+// order.
+func (e *ParallelEngine) mergedSpans() []obs.BatchSpan {
+	rings := make([]*obs.SpanRing, 0, len(e.shards))
+	for _, sh := range e.shards {
+		rings = append(rings, sh.spans)
+	}
+	return obs.MergeSpans(rings...)
+}
+
+// Status returns the merged health report: counters exact at the last
+// barrier, health and clock overlaid live. Safe from any goroutine.
+func (e *ParallelEngine) Status() *obs.StatusReport {
+	e.adminMu.Lock()
+	st := e.status
+	st.Shards = append([]obs.ShardStatus(nil), st.Shards...)
+	e.adminMu.Unlock()
+	st.Clock = e.pubPkts.Load()
+	worst := obs.HealthHealthy
+	degraded := 0
+	for i, sh := range e.shards {
+		h := obs.Health(sh.fe.health.Load())
+		if h > worst {
+			worst = h
+		}
+		if h >= obs.HealthDegraded {
+			degraded++
+		}
+		if i < len(st.Shards) {
+			st.Shards[i].Health = h.String()
+		}
+	}
+	st.Health = worst.String()
+	st.DegradedShards = degraded
+	return &st
+}
+
+// ObsSpans returns the merged batch spans as of the last barrier.
+// Safe from any goroutine; the slice is immutable once cached.
+func (e *ParallelEngine) ObsSpans() []obs.BatchSpan {
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	return e.spanCache
+}
+
+// FlightDump returns the merged flight-recorder dump as of the last
+// barrier (nil when the recorder is disabled). Safe from any
+// goroutine; the dump is immutable once cached.
+func (e *ParallelEngine) FlightDump() *obs.FRDump {
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	return e.frCache
 }
 
 // Drain blocks until every packet handed to Process so far has been
@@ -401,15 +741,16 @@ func (e *ParallelEngine) stop() {
 }
 
 // Err returns the first wire round-trip failure recorded by any
-// shard. Only meaningful at a quiescence point (after Flush, Drain or
-// Close), which Flush and Close already establish.
+// shard, or the first anomaly-dump write failure. Only meaningful at
+// a quiescence point (after Flush, Drain or Close), which Flush and
+// Close already establish.
 func (e *ParallelEngine) Err() error {
 	for _, sh := range e.shards {
 		if err := sh.fe.Err(); err != nil {
 			return err
 		}
 	}
-	return nil
+	return e.dumpErr
 }
 
 // Workers returns the shard count.
@@ -506,14 +847,22 @@ func (e *ParallelEngine) ObsTimelines() []obs.Timeline {
 
 // ObsSource adapts the engine to the obs HTTP handler and dump
 // writers: Scrape is live and lock-free, Series and Timelines are
-// exact at quiescence. Endpoints for disabled facilities stay nil.
+// exact at quiescence, Status/Spans/FlightRec serve the barrier-
+// refreshed admin caches (with live health/clock overlays). Endpoints
+// for disabled facilities stay nil.
 func (e *ParallelEngine) ObsSource() obs.Source {
-	src := obs.Source{Scrape: e.ObsScrape}
+	src := obs.Source{Scrape: e.ObsScrape, Status: e.Status}
 	if e.rec != nil {
 		src.Series = e.ObsSeries
 	}
 	if e.obsReg != nil && e.opts.Obs.TraceSampleEvery > 0 {
 		src.Timelines = e.ObsTimelines
+	}
+	if e.obsEnabled && e.opts.Obs.SpanSampleEvery > 0 {
+		src.Spans = e.ObsSpans
+	}
+	if e.fr != nil {
+		src.FlightRec = e.FlightDump
 	}
 	return src
 }

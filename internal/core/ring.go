@@ -25,6 +25,8 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+
+	"superfe/internal/obs"
 )
 
 // ringSpin is the number of empty/full polls a side performs (yielding
@@ -63,6 +65,37 @@ type spscRing struct {
 	closed     atomic.Bool
 	wakeCons   chan struct{}
 	wakeProd   chan struct{}
+
+	_ [64]byte
+	// Producer-owned instrumentation (plain fields: single writer, read
+	// at quiescence or by the producer itself). occHW is the input
+	// ring's occupancy high watermark; prodParkEpisodes feeds the batch
+	// spans (parks charged to the span's enqueue).
+	occHW            uint64
+	prodParkEpisodes uint64
+
+	// Read-only after construction: the obs handles (zero values are
+	// no-ops, so unwired rings cost nothing but the instr branch) and
+	// the flight-recorder hooks. frProd records producer parks (the
+	// router blocked on a full input ring), frCons consumer parks (the
+	// router starved on the free ring) — each side's recorder/clock is
+	// owned by the goroutine driving that side, which for both wired
+	// cases is the router.
+	instr     bool
+	obsOccHW  obs.Gauge
+	prodParks obs.Counter
+	consParks obs.Counter
+	prodSpins obs.Counter
+	consSpins obs.Counter
+	prodWakes obs.Counter
+	consWakes obs.Counter
+
+	frProd      *obs.FlightRecorder
+	frProdKind  obs.FREventKind
+	frProdClock *uint64
+	frCons      *obs.FlightRecorder
+	frConsKind  obs.FREventKind
+	frConsClock *uint64
 }
 
 // newSPSCRing sizes the ring to the next power of two ≥ capacity. spin
@@ -102,8 +135,62 @@ func (r *spscRing) push(m shardMsg) {
 	}
 	r.slots[t&r.mask] = m
 	r.tail.Store(t + 1)
+	r.published(t)
+}
+
+// pushTraced is push for a span-sampled batch: it additionally fills
+// the span's enqueue-evidence fields. The span lives inside the batch
+// being pushed, so every field must be written before the publishing
+// tail store — which is why the evidence is gathered producer-side,
+// pre-publication: occupancy counts this slot against the fresh head,
+// ProdParks is the park episodes this push itself cost, and
+// WokeConsumer reports whether the consumer was parked at publish
+// time (the publish is then what wakes it).
+//
+//superfe:hotpath
+//superfe:producer
+func (r *spscRing) pushTraced(m shardMsg, sp *obs.BatchSpan) {
+	t := r.tail.Load()
+	if t-r.headCache >= uint64(len(r.slots)) {
+		r.headCache = r.head.Load()
+		if t-r.headCache >= uint64(len(r.slots)) {
+			parks0 := r.prodParkEpisodes
+			r.pushSlow(t)
+			sp.ProdParks = uint32(r.prodParkEpisodes - parks0)
+		}
+	}
+	r.headCache = r.head.Load()
+	sp.EnqueueOcc = int32(t + 1 - r.headCache)
+	sp.WokeConsumer = r.consParked.Load()
+	r.slots[t&r.mask] = m
+	r.tail.Store(t + 1)
+	r.published(t)
+}
+
+// published maintains the occupancy high watermark and wakes a parked
+// consumer — the common back half of push and pushTraced. The callers
+// keep the slot write and the releasing tail store inline
+// (store-index-then-release is their own contract); this runs after
+// the message is already visible.
+//
+//superfe:hotpath
+//superfe:producer
+func (r *spscRing) published(t uint64) {
+	if r.instr {
+		// High-watermark occupancy: the stale headCache overestimates,
+		// so refresh against the true head only when the estimate would
+		// raise the watermark — amortized to nothing in steady state.
+		if est := t + 1 - r.headCache; est > r.occHW {
+			r.headCache = r.head.Load()
+			if occ := t + 1 - r.headCache; occ > r.occHW {
+				r.occHW = occ
+				r.obsOccHW.Set(int64(occ))
+			}
+		}
+	}
 	if r.consParked.Load() && r.consParked.Swap(false) {
 		r.wake(r.wakeCons)
+		r.consWakes.Inc()
 	}
 }
 
@@ -113,6 +200,7 @@ func (r *spscRing) push(m shardMsg) {
 //superfe:coldpath
 //superfe:producer
 func (r *spscRing) pushSlow(t uint64) {
+	r.prodSpins.Inc()
 	for i := 0; i < r.spin; i++ {
 		runtime.Gosched()
 		r.headCache = r.head.Load()
@@ -129,6 +217,11 @@ func (r *spscRing) pushSlow(t uint64) {
 			r.prodParked.Store(false)
 			r.drain(r.wakeProd)
 			return
+		}
+		r.prodParkEpisodes++
+		r.prodParks.Inc()
+		if r.frProd != nil {
+			r.frProd.Record(r.frProdKind, *r.frProdClock, int64(len(r.slots)))
 		}
 		<-r.wakeProd
 		r.headCache = r.head.Load()
@@ -157,6 +250,7 @@ func (r *spscRing) pop() (shardMsg, bool) {
 	r.head.Store(h + 1)
 	if r.prodParked.Load() && r.prodParked.Swap(false) {
 		r.wake(r.wakeProd)
+		r.prodWakes.Inc()
 	}
 	return m, true
 }
@@ -168,6 +262,7 @@ func (r *spscRing) pop() (shardMsg, bool) {
 //superfe:coldpath
 //superfe:consumer
 func (r *spscRing) popSlow(h uint64) bool {
+	r.consSpins.Inc()
 	for i := 0; i < r.spin; i++ {
 		if r.closed.Load() {
 			// One final tail read decides between drained and racing
@@ -194,6 +289,10 @@ func (r *spscRing) popSlow(h uint64) bool {
 			r.drain(r.wakeCons)
 			r.tailCache = r.tail.Load()
 			return h != r.tailCache
+		}
+		r.consParks.Inc()
+		if r.frCons != nil {
+			r.frCons.Record(r.frConsKind, *r.frConsClock, 0)
 		}
 		<-r.wakeCons
 		r.tailCache = r.tail.Load()
@@ -229,4 +328,45 @@ func (r *spscRing) drain(ch chan struct{}) {
 	case <-ch:
 	default:
 	}
+}
+
+// instrumentIn wires a shard input ring's metric handles. Call before
+// the first push/pop (construction time): the handles are read-only
+// afterwards.
+func (r *spscRing) instrumentIn(ro *obs.RingObs) {
+	if ro == nil {
+		return
+	}
+	r.instr = true
+	r.obsOccHW = ro.InOccupancyHW
+	r.prodParks = ro.ProdParks
+	r.consParks = ro.ConsParks
+	r.prodSpins = ro.ProdSpins
+	r.consSpins = ro.ConsSpins
+	r.prodWakes = ro.ProdWakes
+	r.consWakes = ro.ConsWakes
+}
+
+// instrumentFree wires a recycle ring: its consumer is the router, so
+// a consumer park there means the whole pipeline is starved of free
+// batches. Only that counter is wired — occupancy and the producer
+// side carry no signal (capacity exceeds the batch population by
+// construction, so the shard's pushes never block).
+func (r *spscRing) instrumentFree(ro *obs.RingObs) {
+	if ro == nil {
+		return
+	}
+	r.consParks = ro.FreeStarvation
+}
+
+// hookProdFR attaches a flight recorder to producer park episodes.
+// The recorder and clock must be owned by the producer goroutine.
+func (r *spscRing) hookProdFR(fr *obs.FlightRecorder, kind obs.FREventKind, clock *uint64) {
+	r.frProd, r.frProdKind, r.frProdClock = fr, kind, clock
+}
+
+// hookConsFR attaches a flight recorder to consumer park episodes.
+// The recorder and clock must be owned by the consumer goroutine.
+func (r *spscRing) hookConsFR(fr *obs.FlightRecorder, kind obs.FREventKind, clock *uint64) {
+	r.frCons, r.frConsKind, r.frConsClock = fr, kind, clock
 }

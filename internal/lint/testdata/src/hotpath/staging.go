@@ -1,0 +1,79 @@
+package hotpath
+
+import "fmt"
+
+// --- Telemetry staging shapes (the batch-granular publishing
+// discipline from internal/obs): per-event observation into a
+// goroutine-local staging buffer is plain indexed arithmetic and must
+// pass; the per-batch flush that publishes the staged deltas is also
+// hot (it runs once per columnar batch); the tempting shortcuts —
+// formatting a series label per event, or accumulating span events
+// into an unsized local — must not.
+
+// HistStage models the goroutine-local histogram staging buffer: the
+// buckets are pre-sized at construction, Observe is a binary search
+// plus three plain stores.
+type HistStage struct {
+	count   uint64
+	sum     uint64
+	buckets []uint64
+	edges   []int64
+}
+
+// Observe stages one sample: indexed writes into pre-sized buckets.
+//
+//superfe:hotpath
+func (st *HistStage) Observe(x int64) {
+	lo, hi := 0, len(st.edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if x <= st.edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	st.count++
+	st.sum += uint64(x)
+	st.buckets[lo]++ // indexed write into a pre-sized bucket array: fine
+}
+
+// Counters models a stats struct published by per-batch deltas.
+type Counters struct {
+	PktsIn  uint64
+	BytesIn uint64
+}
+
+// PublishDeltas is the per-batch publish: plain subtraction against
+// the base copy, nothing allocates.
+//
+//superfe:hotpath
+func PublishDeltas(cur, base *Counters, sink []uint64) {
+	if d := cur.PktsIn - base.PktsIn; d != 0 {
+		sink[0] += d
+	}
+	if d := cur.BytesIn - base.BytesIn; d != 0 {
+		sink[1] += d
+	}
+	*base = *cur // struct copy of plain counters: fine
+}
+
+// labelPerEvent shows the tempting mistake staging exists to avoid:
+// materializing a series label per observed event.
+//
+//superfe:hotpath
+func labelPerEvent(st *HistStage, shard int) {
+	name := fmt.Sprintf("shard-%d", shard) // want `calls fmt\.Sprintf`
+	_ = name
+	st.Observe(1)
+}
+
+// spanLog accumulates trace events into an unsized local — the growth
+// belongs in a pre-sized ring, not on the per-packet path.
+//
+//superfe:hotpath
+func spanLog(hash uint32) []uint32 {
+	var events []uint32
+	events = append(events, hash) // want `appends to events, a local declared without capacity`
+	return events
+}

@@ -51,3 +51,46 @@ func copies(p *ring) {
 	r := *p // want `dereference copy holds padded struct ring by value`
 	_ = r
 }
+
+// --- Instrumented-ring shapes (the parallel engine's ring telemetry):
+// producer-owned instrumentation lives behind its own cache-line pad
+// so counter updates never bounce the consumer's line, and snapshots
+// read the padded struct through a pointer, never by copying it.
+
+// instrRing pads the shared head/tail halves AND the producer-owned
+// telemetry block: three writer domains, two full-line pads.
+//
+//superfe:padded
+type instrRing struct {
+	head uint64
+	_    [64]byte
+	tail uint64
+	_    [64]byte
+	// producer-owned instrumentation: plain fields, single writer.
+	occHW        uint64
+	parkEpisodes uint64
+}
+
+// instrBare bolts the telemetry counters straight onto the shared
+// fields with no pad at all.
+//
+//superfe:padded
+type instrBare struct { // want `instrBare is declared //superfe:padded but contains no cache-line pad`
+	head  uint64
+	tail  uint64
+	occHW uint64
+}
+
+// snapshotCopy shows the snapshot mistake: copying the padded ring by
+// value to "freeze" it also copies 128 bytes of pad and silently
+// discards the alignment the annotation promised.
+func snapshotCopy(r *instrRing) uint64 {
+	s := *r // want `dereference copy holds padded struct instrRing by value`
+	return s.occHW
+}
+
+// snapshotFields reads the counters field-by-field through the
+// pointer: the correct quiescent-snapshot shape.
+func snapshotFields(r *instrRing) (uint64, uint64) {
+	return r.occHW, r.parkEpisodes
+}

@@ -101,6 +101,11 @@ type Config struct {
 	// group admission; island stalls are modelled at the delivery
 	// layer in core). Nil disables injection.
 	Faults *faults.Injector
+	// FlightRec, when non-nil, receives EMEM-drop events (coalesced
+	// exponentially: the 1st, 2nd, 4th... drop) for the always-on
+	// flight recorder. Must be owned by the goroutine driving this
+	// runtime.
+	FlightRec *obs.FlightRecorder
 }
 
 // Optimizations toggles the §6.2 cycle optimizations, enabling the

@@ -37,8 +37,15 @@ type Runtime struct {
 
 	// obs mirrors cfg.Obs; cyclesPerCell is the cost model's per-cell
 	// price, precomputed once so the CyclesPerMGPV histogram costs one
-	// multiply per message on the hot path.
+	// multiply per message on the hot path. The hot path only mutates
+	// the plain stats struct and the staged histograms; PublishObs
+	// diffs stats against obsBase and pushes the deltas into the
+	// registry at batch boundaries (same discipline as the switch's
+	// publishObs).
 	obs           *obs.NICObs
+	obsBase       RuntimeStats
+	cycStage      obs.HistStage
+	emitStage     obs.HistStage
 	cyclesPerCell float64
 
 	// tsPos is the position of the timestamp metadata within cell
@@ -58,6 +65,9 @@ type Runtime struct {
 
 	// inj mirrors cfg.Faults (nil when injection is disabled).
 	inj *faults.Injector
+	// fr mirrors cfg.FlightRec (nil-safe; EMEM-drop events coalesced
+	// exponentially so sustained drop storms cost O(log n) records).
+	fr *obs.FlightRecorder
 
 	// Slab allocator for group state: groups, their reducer slices and
 	// scratch slices are carved from block allocations so admitting a
@@ -193,6 +203,7 @@ func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, err
 		groups:  make(map[flowkey.Key]*group),
 		sink:    sink,
 		inj:     cfg.Faults,
+		fr:      cfg.FlightRec,
 	}
 	// Field position index within cells.
 	fieldPos := map[packet.FieldName]int{}
@@ -214,6 +225,8 @@ func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, err
 	r.memoGroups = make([]*group, len(r.programs))
 	if cfg.Obs != nil {
 		r.obs = cfg.Obs
+		r.cycStage = cfg.Obs.CyclesPerMGPV.Stage()
+		r.emitStage = cfg.Obs.EmitLatency.Stage()
 		// Price the plan once with the architectural cost model so the
 		// CyclesPerMGPV histogram reflects the same cycles the Figure
 		// 16/17 experiments report.
@@ -224,6 +237,48 @@ func NewRuntime(cfg Config, plan *policy.Plan, sink feature.Sink) (*Runtime, err
 		r.cyclesPerCell = NewCostModel(cfg, plan.NIC, pl).CyclesPerCell()
 	}
 	return r, nil
+}
+
+// PublishObs pushes the counter deltas accumulated in stats since the
+// last publish into the registry, refreshes the live-group gauges and
+// flushes the staged histograms. The owning engine calls it once per
+// columnar batch (per packet on the sequential path) so the per-event
+// NIC path carries no lock-prefixed instructions; scrapers see
+// batch-granular values, which barrier-quiesced snapshots never
+// observe mid-step. No-op without telemetry.
+func (r *Runtime) PublishObs() {
+	o := r.obs
+	if o == nil {
+		return
+	}
+	st, b := &r.stats, &r.obsBase
+	if d := st.Msgs - b.Msgs; d != 0 {
+		o.Msgs.Add(d)
+	}
+	if d := st.MGPVs - b.MGPVs; d != 0 {
+		o.MGPVs.Add(d)
+	}
+	if d := st.FGUpdates - b.FGUpdates; d != 0 {
+		o.FGUpdates.Add(d)
+	}
+	if d := st.Cells - b.Cells; d != 0 {
+		o.Cells.Add(d)
+	}
+	if d := st.UnknownFG - b.UnknownFG; d != 0 {
+		o.UnknownFG.Add(d)
+	}
+	if d := st.Vectors - b.Vectors; d != 0 {
+		o.Vectors.Add(d)
+	}
+	o.GroupsLive.Set(int64(len(r.groups)))
+	over := len(r.groups) - r.cfg.GroupSlots*r.cfg.TableWidth
+	if over < 0 {
+		over = 0
+	}
+	o.DRAMEntries.Set(int64(over))
+	r.cycStage.Flush()
+	r.emitStage.Flush()
+	*b = *st
 }
 
 // compileProgram lowers the ops at granularity g into an instruction
@@ -331,12 +386,6 @@ func (r *Runtime) newGroup(pr *program, key flowkey.Key) *group {
 	r.slabGroups = r.slabGroups[1:]
 	g.key = key
 	g.admitClock = r.stats.Cells
-	if o := r.obs; o != nil {
-		o.GroupsLive.Add(1)
-		if len(r.groups)+1 > r.cfg.GroupSlots*r.cfg.TableWidth {
-			o.DRAMEntries.Add(1)
-		}
-	}
 	if n := len(pr.reducerSpec); n > 0 {
 		if len(r.slabReds) < n {
 			r.slabReds = make([]streaming.Reducer, n*groupSlab)
@@ -397,16 +446,10 @@ func (r *Runtime) StateBytes() int {
 //superfe:hotpath
 func (r *Runtime) Process(m gpv.Message) {
 	r.stats.Msgs++
-	if o := r.obs; o != nil {
-		o.Msgs.Inc()
-	}
 	switch {
 	case m.FG != nil:
 		r.fgTable[m.FG.Index] = fgSlot{key: m.FG.Key, set: true}
 		r.stats.FGUpdates++
-		if o := r.obs; o != nil {
-			o.FGUpdates.Inc()
-		}
 	case m.MGPV != nil:
 		r.stats.MGPVs++
 		r.processMGPV(m.MGPV)
@@ -418,10 +461,8 @@ func (r *Runtime) Process(m gpv.Message) {
 // and running the compiled stages.
 func (r *Runtime) processMGPV(v *gpv.MGPV) {
 	if o := r.obs; o != nil {
-		o.MGPVs.Inc()
-		o.Cells.Add(uint64(len(v.Cells)))
 		if n := len(v.Cells); n > 0 {
-			o.CyclesPerMGPV.Observe(int64(r.cyclesPerCell * float64(n)))
+			r.cycStage.Observe(int64(r.cyclesPerCell * float64(n)))
 		}
 		// The MGPV carries the switch-computed CG hash (§6.2 hash
 		// reuse), so the sampling decision matches the switch tracer's.
@@ -451,9 +492,6 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 			slot := r.fgTable[cell.FGIndex]
 			if !slot.set {
 				r.stats.UnknownFG++
-				if o := r.obs; o != nil {
-					o.UnknownFG.Inc()
-				}
 				continue
 			}
 			tuple = slot.key
@@ -494,6 +532,9 @@ func (r *Runtime) processMGPV(v *gpv.MGPV) {
 					// switch-computed CG hash, like the wire faults.
 					if r.inj.EMEMFail(v.Hash) {
 						r.stats.EMEMDrops++
+						if n := r.stats.EMEMDrops; r.fr != nil && n&(n-1) == 0 {
+							r.fr.Record(obs.FREMEMDrop, r.stats.Cells, int64(n))
+						}
 						continue
 					}
 					g = r.newGroup(pr, key)
@@ -641,9 +682,8 @@ func (r *Runtime) appendSnapshot(dst []float64, g *group, em emitSpec) []float64
 func (r *Runtime) emitVector(key flowkey.Key, g *group, ts int64, vals []float64, cgKey flowkey.Key, cgHash uint32) {
 	r.stats.Vectors++
 	if o := r.obs; o != nil {
-		o.Vectors.Inc()
 		if g != nil {
-			o.EmitLatency.Observe(int64(r.stats.Cells - g.admitClock))
+			r.emitStage.Observe(int64(r.stats.Cells - g.admitClock))
 		}
 		if t := o.Tracer; t != nil {
 			// Record under the CG key so the event joins the flow's

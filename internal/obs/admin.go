@@ -1,0 +1,144 @@
+// Admin-surface types: the pipeline health model derived from the
+// graceful-degradation pressure controller, the /status report, and
+// the /snapshot bundle. The engines own the state (core populates a
+// StatusReport at quiescence points and overlays the live atomics);
+// this file owns the vocabulary and the deterministic JSON rendering.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Health is the pipeline health model, worst-state-wins:
+//
+//	healthy   — no pressure signal in the current controller window
+//	pressured — island stalls accumulating, but below the degrade
+//	            threshold (hysteresis not yet tripped)
+//	degraded  — the pressure controller flipped long-buffer shedding on
+//	shedding  — degraded AND work is actually being dropped (shed
+//	            cells observed this episode)
+//
+// States are ordered so the merged health of a sharded deployment is
+// simply the max over shards.
+type Health uint8
+
+// Health states, in worsening order.
+const (
+	HealthHealthy Health = iota
+	HealthPressured
+	HealthDegraded
+	HealthShedding
+)
+
+// String names the state.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthPressured:
+		return "pressured"
+	case HealthDegraded:
+		return "degraded"
+	case HealthShedding:
+		return "shedding"
+	}
+	return "health(?)"
+}
+
+// ShardStatus is one shard's slice of the /status report.
+type ShardStatus struct {
+	Shard               int    `json:"shard"`
+	Health              string `json:"health"`
+	Pkts                uint64 `json:"pkts"`
+	Quarantined         uint64 `json:"quarantined"`
+	Retries             uint64 `json:"retries"`
+	RetryDrops          uint64 `json:"retry_drops"`
+	ShedCells           uint64 `json:"shed_cells"`
+	EMEMDrops           uint64 `json:"emem_drops"`
+	DegradedTransitions uint64 `json:"degraded_transitions"`
+	FREvents            uint64 `json:"fr_events"`
+}
+
+// StatusReport is the /status document. Counter fields are exact at
+// the engine's last quiescence point (barrier, flush or anomaly);
+// Health and Clock are overlaid live from atomics so degraded-mode
+// transitions are visible while the replay runs.
+type StatusReport struct {
+	Health         string        `json:"health"`
+	Workers        int           `json:"workers"`
+	Policy         string        `json:"policy"`
+	Clock          uint64        `json:"clock"`
+	DegradedShards int           `json:"degraded_shards"`
+	Anomalies      uint64        `json:"anomalies"`
+	LastAnomaly    string        `json:"last_anomaly,omitempty"`
+	Shards         []ShardStatus `json:"shards"`
+}
+
+// WriteStatusJSON renders the report as indented JSON.
+func WriteStatusJSON(w io.Writer, s *StatusReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteSnapshotBundle renders the one-stop debugging document served
+// at /snapshot: status, the merged metrics snapshot, the sampled
+// batch spans and the flight-recorder state, each present only when
+// its facility is wired in the Source.
+func WriteSnapshotBundle(w io.Writer, src Source) error {
+	bundle := struct {
+		Status    *StatusReport   `json:"status,omitempty"`
+		Metrics   json.RawMessage `json:"metrics,omitempty"`
+		Spans     json.RawMessage `json:"spans,omitempty"`
+		FlightRec json.RawMessage `json:"flightrecorder,omitempty"`
+	}{}
+	if src.Status != nil {
+		bundle.Status = src.Status()
+	}
+	if src.Scrape != nil {
+		if snap := src.Scrape(); snap != nil {
+			var err error
+			if bundle.Metrics, err = marshalWith(func(w io.Writer) error { return WriteJSON(w, snap) }); err != nil {
+				return err
+			}
+		}
+	}
+	if src.Spans != nil {
+		var err error
+		if bundle.Spans, err = marshalWith(func(w io.Writer) error { return WriteSpansJSON(w, src.Spans()) }); err != nil {
+			return err
+		}
+	}
+	if src.FlightRec != nil {
+		if d := src.FlightRec(); d != nil {
+			var err error
+			if bundle.FlightRec, err = marshalWith(func(w io.Writer) error { return WriteFlightRecJSON(w, d) }); err != nil {
+				return err
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bundle)
+}
+
+// marshalWith captures a writer-style renderer's output as a raw JSON
+// value.
+func marshalWith(render func(io.Writer) error) (json.RawMessage, error) {
+	var buf jsonBuffer
+	if err := render(&buf); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.b), nil
+}
+
+// jsonBuffer is a minimal io.Writer over a byte slice (avoids pulling
+// bytes.Buffer into the deterministic package's hot-path import
+// surface for this cold path).
+type jsonBuffer struct{ b []byte }
+
+func (w *jsonBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,310 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// FREventKind is one structured flight-recorder event class.
+type FREventKind uint8
+
+// Flight-recorder event kinds. The recorder is always on — these are
+// the rare, diagnosis-grade state changes (degradation, quarantine,
+// backpressure), not per-packet telemetry.
+const (
+	FRDegradedEnter FREventKind = iota // pressure controller entered degraded mode
+	FRDegradedExit                     // pressure controller exited degraded mode
+	FRQuarantine                       // a frame was rejected at decode/integrity check
+	FRRetry                            // a delivery was re-attempted after an island stall
+	FRRetryDrop                        // a frame was shed after the retry budget
+	FRShed                             // degraded-mode long-buffer shedding (coalesced; arg = total shed)
+	FREMEMDrop                         // NIC EMEM allocation failure drop (coalesced; arg = total drops)
+	FRBarrier                          // router barrier (arg = 1 when flushing)
+	FRFlush                            // engine flush
+	FRRingPark                         // router parked on a full input ring
+	FRFreeStarve                       // router parked waiting for a recycled batch
+	FRDumped                           // a dump bundle was produced (arg = dump ordinal)
+	frNumKinds
+)
+
+// String names the kind for exposition.
+func (k FREventKind) String() string {
+	switch k {
+	case FRDegradedEnter:
+		return "degraded-enter"
+	case FRDegradedExit:
+		return "degraded-exit"
+	case FRQuarantine:
+		return "quarantine"
+	case FRRetry:
+		return "retry"
+	case FRRetryDrop:
+		return "retry-drop"
+	case FRShed:
+		return "shed"
+	case FREMEMDrop:
+		return "emem-drop"
+	case FRBarrier:
+		return "barrier"
+	case FRFlush:
+		return "flush"
+	case FRRingPark:
+		return "ring-park"
+	case FRFreeStarve:
+		return "free-starve"
+	case FRDumped:
+		return "dumped"
+	}
+	return "event(?)"
+}
+
+// FREvent is one recorded event. Clock is the recording side's
+// logical clock — switch packets for engine/switch events, NIC cells
+// for NIC events, router packets for router events — so clocks are
+// comparable within a shard, and cross-shard ordering comes from
+// (Shard, Seq).
+type FREvent struct {
+	Seq   uint64
+	Clock uint64
+	Shard int32 // -1 = the router recorder
+	Kind  FREventKind
+	Arg   int64
+}
+
+// Anomaly is one fired trigger: the reason, where and when.
+type Anomaly struct {
+	Reason string
+	Clock  uint64
+	Shard  int32
+}
+
+// FlightRecOptions sizes one recorder and its anomaly triggers. The
+// zero value selects the defaults.
+type FlightRecOptions struct {
+	// RingSize is the event ring capacity (rounded up to a power of
+	// two; default 1024).
+	RingSize int
+	// QuarSpikeCount quarantine events within QuarSpikeWindow clock
+	// units fire a quarantine-rate-spike anomaly (defaults 32 within
+	// 4096).
+	QuarSpikeCount  int
+	QuarSpikeWindow uint64
+	// ParkSpikeCount ring-park/free-starve events within
+	// ParkSpikeWindow clock units fire a sustained-ring-full anomaly
+	// (defaults 64 within 4096).
+	ParkSpikeCount  int
+	ParkSpikeWindow uint64
+	// Cooldown suppresses further anomalies for this many clock units
+	// after one fires (default 65536), bounding dump storms.
+	Cooldown uint64
+}
+
+func (o *FlightRecOptions) defaults() {
+	if o.RingSize <= 0 {
+		o.RingSize = 1024
+	}
+	if o.QuarSpikeCount <= 0 {
+		o.QuarSpikeCount = 32
+	}
+	if o.QuarSpikeWindow == 0 {
+		o.QuarSpikeWindow = 4096
+	}
+	if o.ParkSpikeCount <= 0 {
+		o.ParkSpikeCount = 64
+	}
+	if o.ParkSpikeWindow == 0 {
+		o.ParkSpikeWindow = 4096
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 65536
+	}
+}
+
+// spikeWindow detects N events within a clock window using a fixed
+// circular array of the last N event clocks — no allocation per hit.
+type spikeWindow struct {
+	clocks []uint64
+	idx    int
+	full   bool
+	window uint64
+}
+
+func newSpikeWindow(count int, window uint64) spikeWindow {
+	return spikeWindow{clocks: make([]uint64, count), window: window}
+}
+
+// hit records one event and reports whether the last len(clocks)
+// events all landed within the window.
+func (s *spikeWindow) hit(clock uint64) bool {
+	s.clocks[s.idx] = clock
+	s.idx++
+	if s.idx == len(s.clocks) {
+		s.idx, s.full = 0, true
+	}
+	if !s.full {
+		return false
+	}
+	// s.idx now points at the oldest retained clock.
+	return clock-s.clocks[s.idx] <= s.window
+}
+
+// FlightRecorder is one engine's always-on structured-event ring:
+// bounded, allocation-free to record, overwriting the oldest event
+// when full. Single-writer (the owning goroutine); Events is a
+// quiescent read. Anomaly triggers — degraded entry, quarantine-rate
+// spike, sustained ring-full — fire OnAnomaly synchronously on the
+// recording goroutine, rate-limited by the cooldown.
+type FlightRecorder struct {
+	// OnAnomaly, when non-nil, observes fired triggers. It runs on the
+	// recording goroutine and must not block.
+	OnAnomaly func(Anomaly)
+
+	shard         int32
+	ring          []FREvent
+	seq           uint64
+	quar          spikeWindow
+	park          spikeWindow
+	cooldown      uint64
+	cooldownUntil uint64
+}
+
+// NewFlightRecorder builds one recorder for the given shard index
+// (use -1 for the router).
+func NewFlightRecorder(shard int, o FlightRecOptions) *FlightRecorder {
+	o.defaults()
+	return &FlightRecorder{
+		shard:    int32(shard),
+		ring:     make([]FREvent, ceilPow2(o.RingSize)),
+		quar:     newSpikeWindow(o.QuarSpikeCount, o.QuarSpikeWindow),
+		park:     newSpikeWindow(o.ParkSpikeCount, o.ParkSpikeWindow),
+		cooldown: o.Cooldown,
+	}
+}
+
+// Record stores one event and evaluates the anomaly triggers. An
+// indexed write plus at most one fixed-array update — no allocation.
+// Nil-safe, so callers keep the pointer unconditionally.
+//
+//superfe:hotpath
+func (fr *FlightRecorder) Record(kind FREventKind, clock uint64, arg int64) {
+	if fr == nil {
+		return
+	}
+	fr.ring[fr.seq&uint64(len(fr.ring)-1)] = FREvent{
+		Seq: fr.seq, Clock: clock, Shard: fr.shard, Kind: kind, Arg: arg,
+	}
+	fr.seq++
+	switch kind {
+	case FRDegradedEnter:
+		fr.anomaly("degraded-enter", clock)
+	case FRQuarantine:
+		if fr.quar.hit(clock) {
+			fr.anomaly("quarantine-spike", clock)
+		}
+	case FRRingPark, FRFreeStarve:
+		if fr.park.hit(clock) {
+			fr.anomaly("ring-full-sustained", clock)
+		}
+	}
+}
+
+// anomaly fires OnAnomaly unless still cooling down from the last
+// one. The recorder's clocks are monotone, so the comparison is safe.
+func (fr *FlightRecorder) anomaly(reason string, clock uint64) {
+	if fr.OnAnomaly == nil || (fr.cooldownUntil > 0 && clock < fr.cooldownUntil) {
+		return
+	}
+	fr.cooldownUntil = clock + fr.cooldown
+	fr.OnAnomaly(Anomaly{Reason: reason, Clock: clock, Shard: fr.shard})
+}
+
+// Seq returns the number of events recorded so far (including
+// overwritten ones). Quiescent-read only.
+func (fr *FlightRecorder) Seq() uint64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.seq
+}
+
+// Events returns the retained events in recording order (oldest
+// first). Quiescent-read only.
+func (fr *FlightRecorder) Events() []FREvent {
+	if fr == nil {
+		return nil
+	}
+	n := fr.seq
+	if n > uint64(len(fr.ring)) {
+		n = uint64(len(fr.ring))
+	}
+	out := make([]FREvent, 0, n)
+	for s := fr.seq - n; s < fr.seq; s++ {
+		out = append(out, fr.ring[s&uint64(len(fr.ring)-1)])
+	}
+	return out
+}
+
+// MergeFREvents collects the retained events of several recorders,
+// sorted by (Shard, Seq) — a deterministic total order (clocks live
+// in per-shard domains, so they only order events within a shard,
+// which Seq already does).
+func MergeFREvents(recs ...*FlightRecorder) []FREvent {
+	var all []FREvent
+	for _, fr := range recs {
+		all = append(all, fr.Events()...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Shard != all[j].Shard {
+			return all[i].Shard < all[j].Shard
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	return all
+}
+
+// FRDump is one flight-recorder bundle: why it was produced and the
+// merged event rings at that moment.
+type FRDump struct {
+	Reason string
+	Clock  uint64
+	Shard  int32 // triggering shard; -1 for router / on-demand dumps
+	Health Health
+	Events []FREvent
+}
+
+type jsonFREvent struct {
+	Seq   uint64 `json:"seq"`
+	Clock uint64 `json:"clock"`
+	Shard int32  `json:"shard"`
+	Kind  string `json:"kind"`
+	Arg   int64  `json:"arg,omitempty"`
+}
+
+type jsonFRDump struct {
+	Reason string        `json:"reason"`
+	Clock  uint64        `json:"clock"`
+	Shard  int32         `json:"shard"`
+	Health string        `json:"health"`
+	Events []jsonFREvent `json:"events"`
+}
+
+// WriteFlightRecJSON renders one dump as indented JSON with event
+// kinds spelled out.
+func WriteFlightRecJSON(w io.Writer, d *FRDump) error {
+	out := jsonFRDump{
+		Reason: d.Reason,
+		Clock:  d.Clock,
+		Shard:  d.Shard,
+		Health: d.Health.String(),
+		Events: make([]jsonFREvent, 0, len(d.Events)),
+	}
+	for _, e := range d.Events {
+		out.Events = append(out.Events, jsonFREvent{
+			Seq: e.Seq, Clock: e.Clock, Shard: e.Shard, Kind: e.Kind.String(), Arg: e.Arg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

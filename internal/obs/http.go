@@ -2,25 +2,40 @@ package obs
 
 import (
 	"net/http"
+	"net/http/pprof"
 )
 
-// Source is what an engine exposes to the HTTP handler. Scrape must
-// be safe to call from any goroutine at any time (the registries are
-// read lock-free with atomics); Series and Timelines may return
-// partial views while the pipeline is running and are exact at a
-// quiescence point (after Flush/Drain).
+// Source is what an engine exposes to the HTTP handler. Scrape and
+// Status must be safe to call from any goroutine at any time (the
+// registries are read lock-free with atomics; status reports are
+// served from a mutex-guarded cache refreshed at quiescence points
+// with live health/clock overlays); Series, Timelines, Spans and
+// FlightRec may return partial views while the pipeline is running
+// and are exact at a quiescence point (after Flush/Drain). Nil
+// functions mark disabled facilities; their endpoints answer 404.
 type Source struct {
 	Scrape    func() *Snapshot
 	Series    func() *Series
 	Timelines func() []Timeline
+	Status    func() *StatusReport
+	Spans     func() []BatchSpan
+	FlightRec func() *FRDump
+	// Pprof mounts net/http/pprof under /debug/pprof/ — the live
+	// profiling half of the admin surface.
+	Pprof bool
 }
 
-// NewHTTPHandler serves the telemetry over HTTP:
+// NewHTTPHandler serves the telemetry and admin surface over HTTP:
 //
-//	/metrics        Prometheus text exposition (scrape target)
-//	/metrics.json   the same snapshot as JSON
-//	/series.csv     the interval time-series as CSV
-//	/timelines.json reconstructed flow-lifecycle timelines
+//	/metrics         Prometheus text exposition (scrape target)
+//	/metrics.json    the same snapshot as JSON
+//	/series.csv      the interval time-series as CSV
+//	/timelines.json  reconstructed flow-lifecycle timelines
+//	/status          health model + per-shard pressure counters
+//	/snapshot        one-stop bundle: status + metrics + spans + flight recorder
+//	/spans           sampled batch spans (router→ring→switch→NIC)
+//	/flightrecorder  the current flight-recorder dump
+//	/debug/pprof/    live CPU/heap/goroutine profiling (Pprof only)
 func NewHTTPHandler(src Source) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
@@ -55,5 +70,48 @@ func NewHTTPHandler(src Source) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		if src.Status == nil {
+			http.Error(w, "status unavailable (engine does not expose it)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteStatusJSON(w, src.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteSnapshotBundle(w, src); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, req *http.Request) {
+		if src.Spans == nil {
+			http.Error(w, "span tracing disabled (set SpanSampleEvery; parallel engine only)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteSpansJSON(w, src.Spans()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		if src.FlightRec == nil {
+			http.Error(w, "flight recorder unavailable (engine does not expose it)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteFlightRecJSON(w, src.FlightRec()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if src.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }

@@ -47,15 +47,27 @@ type Options struct {
 	// TraceRingSize is the tracer ring capacity in events (rounded up
 	// to a power of two).
 	TraceRingSize int
+	// SpanSampleEvery samples 1-in-K columnar batches into the
+	// batch-span ring, keyed by the first row's CG hash (rounded up to
+	// a power of two); 0 disables span tracing, 1 spans every batch.
+	// Only the parallel engine produces batches, so the sequential
+	// engine leaves the ring empty.
+	SpanSampleEvery int
+	// SpanRingSize is the per-shard span ring capacity (rounded up to
+	// a power of two).
+	SpanRingSize int
 }
 
 // DefaultOptions returns the default telemetry sizing: snapshots
 // every 64Ki packets, 1-in-64 flow groups traced into a 4096-event
-// ring. Enabled is left false; callers opt in.
+// ring, 1-in-16 batches spanned into a 1024-span ring. Enabled is
+// left false; callers opt in.
 func DefaultOptions() Options {
 	return Options{
 		SnapshotInterval: 1 << 16,
 		TraceSampleEvery: 64,
 		TraceRingSize:    4096,
+		SpanSampleEvery:  16,
+		SpanRingSize:     1024,
 	}
 }

@@ -91,15 +91,43 @@ type EngineObs struct {
 	DegradedMode        Gauge
 }
 
+// RingObs is the router→shard SPSC-ring instrument panel: the
+// backpressure evidence the PR 6 hot path was blind to. The in-ring
+// handles are wired to the shard's input ring; FreeStarvation is the
+// recycle ring's consumer-park count (the router waiting for a free
+// batch — the whole pipeline stalled on the shard). Registered
+// unconditionally so the per-shard registry schemas stay identical
+// (the sequential engine simply leaves them at zero).
+type RingObs struct {
+	// InOccupancyHW is the high-watermark occupancy of the input ring
+	// (per-shard gauge; summed across shards at snapshot like the
+	// other gauges).
+	InOccupancyHW Gauge
+	// Park counters: full episodes of blocking on the wake channel.
+	ProdParks Counter
+	ConsParks Counter
+	// Spin counters: slow-path entries that burned the poll budget
+	// (parked or not) — the leading edge of pressure.
+	ProdSpins Counter
+	ConsSpins Counter
+	// Wake counters: tokens handed to a parked peer.
+	ProdWakes Counter
+	ConsWakes Counter
+	// FreeStarvation: router parks waiting for a recycled batch.
+	FreeStarvation Counter
+}
+
 // Pipeline bundles one engine shard's telemetry: a registry, the
-// switch, NIC and engine panels publishing into it, and the shard's
-// lifecycle tracer.
+// switch, NIC, engine and ring panels publishing into it, the shard's
+// lifecycle tracer and its batch-span ring.
 type Pipeline struct {
 	Registry *Registry
 	Switch   *SwitchObs
 	NIC      *NICObs
 	Engine   *EngineObs
+	Ring     *RingObs
 	Tracer   *FlowTracer
+	Spans    *SpanRing
 }
 
 // Geometric bucket edges for the per-stage histograms, derived with
@@ -175,6 +203,27 @@ func NewPipeline(o Options) *Pipeline {
 		eng.FaultsInjected[k] = r.Counter("superfe_faults_injected_total",
 			"injected faults by kind", L("kind", faults.Kind(k).String()))
 	}
+	ring := &RingObs{
+		InOccupancyHW: r.Gauge("superfe_ring_in_occupancy_highwater",
+			"high-watermark occupancy of the shard input ring (batches; summed across shards at snapshot)"),
+		ProdParks: r.Counter("superfe_ring_prod_parks_total",
+			"producer park episodes on the shard input ring (router blocked on a full ring)"),
+		ConsParks: r.Counter("superfe_ring_cons_parks_total",
+			"consumer park episodes on the shard input ring (shard idle on an empty ring)"),
+		ProdSpins: r.Counter("superfe_ring_prod_spin_episodes_total",
+			"producer slow-path entries that exhausted the spin budget"),
+		ConsSpins: r.Counter("superfe_ring_cons_spin_episodes_total",
+			"consumer slow-path entries that exhausted the spin budget"),
+		ProdWakes: r.Counter("superfe_ring_prod_wakes_total",
+			"wake tokens handed to a parked producer"),
+		ConsWakes: r.Counter("superfe_ring_cons_wakes_total",
+			"wake tokens handed to a parked consumer"),
+		FreeStarvation: r.Counter("superfe_ring_free_starvation_total",
+			"router park episodes waiting for a recycled batch on the free ring"),
+	}
 	r.Seal()
-	return &Pipeline{Registry: r, Switch: sw, NIC: nic, Engine: eng, Tracer: tr}
+	return &Pipeline{
+		Registry: r, Switch: sw, NIC: nic, Engine: eng, Ring: ring, Tracer: tr,
+		Spans: NewSpanRing(o.SpanSampleEvery, o.SpanRingSize),
+	}
 }

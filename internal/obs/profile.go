@@ -1,0 +1,118 @@
+// Periodic CPU/heap profile capture for the admin surface. The
+// Profiler owns the files and the retention bound but deliberately
+// has no clock — package obs is //superfe:deterministic, so the
+// caller (cmd/superfe) drives Tick from its own wall-time ticker.
+// Files are sequence-numbered, never timestamped, which also keeps
+// fixed-seed test runs reproducible.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+)
+
+// Profiler rotates CPU profiles and snapshots heap profiles into a
+// retention-bounded directory. Single-goroutine use: the owner calls
+// Tick on its own cadence and Stop once at shutdown.
+//
+// Capture scheme: Tick n finishes the CPU profile started at tick
+// n-1 (so cpu_<n>.pprof covers the interval between the two ticks),
+// writes heap_<n>.pprof, starts the next CPU window, and prunes each
+// kind down to the retention bound.
+type Profiler struct {
+	dir    string
+	retain int
+	seq    int
+	cpu    *os.File // open file of the in-flight CPU window, nil before the first Tick
+}
+
+// NewProfiler creates dir (if needed) and returns a profiler keeping
+// the last retain profiles of each kind (retain <= 0 selects 4).
+func NewProfiler(dir string, retain int) (*Profiler, error) {
+	if retain <= 0 {
+		retain = 4
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Profiler{dir: dir, retain: retain}, nil
+}
+
+// Tick rotates the profile windows: close out the running CPU
+// profile, write a heap snapshot, start the next CPU window, prune.
+func (p *Profiler) Tick() error {
+	p.seq++
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			return err
+		}
+		p.cpu = nil
+	}
+	hf, err := os.Create(filepath.Join(p.dir, fmt.Sprintf("heap_%06d.pprof", p.seq)))
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		hf.Close()
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(p.dir, fmt.Sprintf("cpu_%06d.pprof", p.seq)))
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		// Another CPU profile is active (e.g. -cpuprofile): skip the
+		// CPU window, keep the heap cadence.
+		cf.Close()
+		os.Remove(cf.Name())
+	} else {
+		p.cpu = cf
+	}
+	return p.prune()
+}
+
+// Stop closes the in-flight CPU window, if any.
+func (p *Profiler) Stop() error {
+	if p.cpu == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := p.cpu.Close()
+	p.cpu = nil
+	return err
+}
+
+// prune keeps the newest retain files of each kind (the sequence
+// number orders them; names sort lexicographically by construction).
+func (p *Profiler) prune() error {
+	entries, err := os.ReadDir(p.dir)
+	if err != nil {
+		return err
+	}
+	for _, prefix := range [...]string{"cpu_", "heap_"} {
+		var names []string
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), prefix) && strings.HasSuffix(e.Name(), ".pprof") {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for len(names) > p.retain {
+			if err := os.Remove(filepath.Join(p.dir, names[0])); err != nil {
+				return err
+			}
+			names = names[1:]
+		}
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ package switchsim
 
 import (
 	"superfe/internal/flowkey"
+	"superfe/internal/obs"
 	"superfe/internal/packet"
 )
 
@@ -40,6 +41,14 @@ type Columns struct {
 	// occupies Fields[i*nf : (i+1)*nf] in plan order.
 	Fields []uint32
 	nf     int
+
+	// Span is the batch's trace-span state when this batch won the
+	// 1-in-K sampling lottery (Span.Sampled): the router fills the
+	// ingress half while building the batch, the consuming shard
+	// completes the extraction half and records it. Riding inside the
+	// batch keeps the hand-off allocation-free and needs no extra
+	// synchronisation — the batch itself is the unit of transfer.
+	Span obs.BatchSpan
 }
 
 // NewColumns returns a batch with capacity rows for nfields batched
@@ -84,7 +93,10 @@ func (c *Columns) Append(p *packet.Packet, key flowkey.Key, hash uint32, pass bo
 }
 
 // Reset empties the batch for reuse; capacity is retained.
-func (c *Columns) Reset() { c.N = 0 }
+func (c *Columns) Reset() {
+	c.N = 0
+	c.Span = obs.BatchSpan{}
+}
 
 // ProcessColumns runs every row of a columnar batch through the
 // pipeline: clock/aging advance, accounting, the pre-evaluated filter
@@ -105,15 +117,8 @@ func (s *Switch) ProcessColumns(c *Columns) {
 
 		s.stat.PktsIn++
 		s.stat.BytesIn += uint64(c.Sizes[i])
-		if o := s.obs; o != nil {
-			o.PktsIn.Inc()
-			o.BytesIn.Add(uint64(c.Sizes[i]))
-		}
 		if !c.Pass[i] {
 			s.stat.PktsFiltered++
-			if o := s.obs; o != nil {
-				o.PktsFiltered.Inc()
-			}
 			continue
 		}
 
@@ -124,4 +129,11 @@ func (s *Switch) ProcessColumns(c *Columns) {
 		copy(cell.Values, c.Fields[i*c.nf:i*c.nf+c.nf])
 		s.groupCell(c.Keys[i], c.Hashes[i], c.Tuples[i])
 	}
+	// Telemetry is published once per batch (deltas of the plain
+	// stats), not per event: a handful of atomic adds amortized over
+	// the whole batch keeps the instrumented hot path within the bench
+	// gate's obs-overhead budget. Readers only ever see batch-granular
+	// counts, which snapshots (taken at barriers, i.e. batch
+	// boundaries) never observe mid-step.
+	s.publishObs()
 }

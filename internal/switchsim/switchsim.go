@@ -72,6 +72,11 @@ type Config struct {
 	// timestamp). The injector is owned by the shard; nil disables
 	// injection with no hot-path cost.
 	Faults *faults.Injector
+	// FlightRec, when non-nil, receives degraded-mode shed events
+	// (coalesced exponentially: the 1st, 2nd, 4th, 8th... shed cell,
+	// so a long shedding episode cannot flood the bounded ring). The
+	// recorder must be owned by the goroutine driving this switch.
+	FlightRec *obs.FlightRecorder
 }
 
 // DefaultConfig returns the prototype parameters from §7.
@@ -137,6 +142,18 @@ type Switch struct {
 	stat Stats
 	obs  *obs.SwitchObs
 
+	// Batch-granular telemetry publishing: the hot path only mutates
+	// the plain stat struct (plus the occupancy shadows and the staged
+	// histogram below); publishObs diffs stat against obsBase and
+	// pushes the deltas into the registry once per columnar batch (per
+	// packet on the scalar path). Scrapers see batch-granular values —
+	// snapshots are taken at barriers, i.e. batch boundaries, so they
+	// never observe a batch mid-step.
+	obsBase     Stats
+	occSlots    int64 // shadow of the OccupiedSlots gauge
+	longGrant   int64 // shadow of the LongGranted gauge
+	cellsPerMsg obs.HistStage
+
 	// Hot-path scratch. cellScratch is the cell being built for the
 	// current packet (its Values array is reused every packet); the
 	// evict* and fgScratch fields back the borrowed messages emitted
@@ -154,9 +171,11 @@ type Switch struct {
 	// Fault injection + graceful degradation. inj is the shard's
 	// injector (nil when faults are disabled); degraded is set by the
 	// engine's pressure controller and makes appendCell shed
-	// long-buffer work while keeping short-buffer extraction.
+	// long-buffer work while keeping short-buffer extraction. fr
+	// records shed events into the always-on flight recorder.
 	inj      *faults.Injector
 	degraded bool
+	fr       *obs.FlightRecorder
 
 	// singleGran is set when the switch emulates a plain GPV cache
 	// for one granularity (the Figure 13 baseline): the FG table is
@@ -183,6 +202,7 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 		out:      sink,
 		obs:      cfg.Obs,
 		inj:      cfg.Faults,
+		fr:       cfg.FlightRec,
 	}
 	for i := range s.slots {
 		s.slots[i].longIdx = -1
@@ -198,7 +218,66 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 	s.singleGran = plan.CG == plan.FG && len(plan.Chain) == 1
 	s.nvals = len(plan.MetadataFields)
 	s.cellScratch.Values = make([]uint32, s.nvals)
+	if s.obs != nil {
+		s.cellsPerMsg = s.obs.CellsPerMsg.Stage()
+	}
 	return s, nil
+}
+
+// publishObs pushes the counter deltas accumulated in stat since the
+// last publish into the registry, refreshes the occupancy gauges from
+// their shadows, and flushes the staged cells-per-MGPV histogram.
+// Called once per columnar batch (the shard path) or per packet (the
+// scalar path) — keeping every lock-prefixed instruction off the
+// per-event hot path.
+func (s *Switch) publishObs() {
+	o := s.obs
+	if o == nil {
+		return
+	}
+	st, b := &s.stat, &s.obsBase
+	if d := st.PktsIn - b.PktsIn; d != 0 {
+		o.PktsIn.Add(d)
+	}
+	if d := st.BytesIn - b.BytesIn; d != 0 {
+		o.BytesIn.Add(d)
+	}
+	if d := st.PktsFiltered - b.PktsFiltered; d != 0 {
+		o.PktsFiltered.Add(d)
+	}
+	if d := st.GroupsAdmitted - b.GroupsAdmitted; d != 0 {
+		o.GroupsAdmitted.Add(d)
+	}
+	if d := st.LongBufGrants - b.LongBufGrants; d != 0 {
+		o.LongBufGrants.Add(d)
+	}
+	if d := st.MsgsOut - b.MsgsOut; d != 0 {
+		o.MsgsOut.Add(d)
+	}
+	if d := st.BytesOut - b.BytesOut; d != 0 {
+		o.BytesOut.Add(d)
+	}
+	if d := st.CellsOut - b.CellsOut; d != 0 {
+		o.CellsOut.Add(d)
+	}
+	if d := st.FGUpdates - b.FGUpdates; d != 0 {
+		o.FGUpdates.Add(d)
+	}
+	if d := st.FGOverwrites - b.FGOverwrites; d != 0 {
+		o.FGOverwrites.Add(d)
+	}
+	if d := st.ShedCells - b.ShedCells; d != 0 {
+		o.CellsShed.Add(d)
+	}
+	for r := range st.Evictions {
+		if d := st.Evictions[r] - b.Evictions[r]; d != 0 {
+			o.Evictions[r].Add(d)
+		}
+	}
+	o.OccupiedSlots.Set(s.occSlots)
+	o.LongGranted.Set(s.longGrant)
+	s.cellsPerMsg.Flush()
+	*b = *st
 }
 
 // Stats returns a copy of the switch counters.
@@ -228,13 +307,14 @@ func (s *Switch) Now() int64 { return s.now }
 //
 //superfe:hotpath
 func (s *Switch) Process(p *packet.Packet) bool {
-	if !s.ingress(p) {
-		return false
+	ok := s.ingress(p)
+	if ok {
+		// Grouping key at the coarsest granularity.
+		cgKey, _ := flowkey.KeyFor(s.plan.CG, p.Tuple)
+		s.group(p, cgKey, flowkey.HashKey(cgKey))
 	}
-	// Grouping key at the coarsest granularity.
-	cgKey, _ := flowkey.KeyFor(s.plan.CG, p.Tuple)
-	s.group(p, cgKey, flowkey.HashKey(cgKey))
-	return true
+	s.publishObs()
+	return ok
 }
 
 // ProcessKeyed is Process with the packet's CG key and key hash
@@ -246,11 +326,12 @@ func (s *Switch) Process(p *packet.Packet) bool {
 //
 //superfe:hotpath
 func (s *Switch) ProcessKeyed(p *packet.Packet, cgKey flowkey.Key, hash uint32) bool {
-	if !s.ingress(p) {
-		return false
+	ok := s.ingress(p)
+	if ok {
+		s.group(p, cgKey, hash)
 	}
-	s.group(p, cgKey, hash)
-	return true
+	s.publishObs()
+	return ok
 }
 
 // ingress advances the clock and aging scan, charges the packet to
@@ -263,16 +344,9 @@ func (s *Switch) ingress(p *packet.Packet) bool {
 
 	s.stat.PktsIn++
 	s.stat.BytesIn += uint64(p.Size)
-	if o := s.obs; o != nil {
-		o.PktsIn.Inc()
-		o.BytesIn.Add(uint64(p.Size))
-	}
 
 	if !s.plan.Pred.Eval(p) {
 		s.stat.PktsFiltered++
-		if o := s.obs; o != nil {
-			o.PktsFiltered.Inc()
-		}
 		return false
 	}
 	return true
@@ -309,12 +383,9 @@ func (s *Switch) groupCell(cgKey flowkey.Key, hash uint32, tuple flowkey.FiveTup
 		sl.key = cgKey
 		sl.hash = hash
 		s.stat.GroupsAdmitted++
-		if o := s.obs; o != nil {
-			o.GroupsAdmitted.Inc()
-			o.OccupiedSlots.Add(1)
-			if o.Tracer.Sampled(hash) {
-				o.Tracer.Record(obs.EvAdmit, cgKey, s.stat.PktsIn, 0, 0)
-			}
+		s.occSlots++
+		if o := s.obs; o != nil && o.Tracer.Sampled(hash) {
+			o.Tracer.Record(obs.EvAdmit, cgKey, s.stat.PktsIn, 0, 0)
 		}
 	}
 	sl.lastAccess = s.now
@@ -366,9 +437,6 @@ func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
 	if !e.occupied || e.key != key {
 		if e.occupied {
 			s.stat.FGOverwrites++
-			if o := s.obs; o != nil {
-				o.FGOverwrites.Inc()
-			}
 		}
 		e.occupied = true
 		e.key = key
@@ -379,9 +447,6 @@ func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
 			s.emit(gpv.Message{FG: &gpv.FGUpdate{Index: uint16(idx), Key: key}})
 		}
 		s.stat.FGUpdates++
-		if o := s.obs; o != nil {
-			o.FGUpdates.Inc()
-		}
 	}
 	return uint16(idx)
 }
@@ -427,10 +492,7 @@ func (s *Switch) appendCell(sl *slot, cell *gpv.Cell) {
 				sl.longIdx = s.stack[n-1]
 				s.stack = s.stack[:n-1]
 				s.stat.LongBufGrants++
-				if o := s.obs; o != nil {
-					o.LongBufGrants.Inc()
-					o.LongGranted.Add(1)
-				}
+				s.longGrant++
 			}
 		}
 		return
@@ -460,8 +522,10 @@ func (s *Switch) appendCell(sl *slot, cell *gpv.Cell) {
 	// eviction traffic toward the stalled NIC.
 	if s.degraded {
 		s.stat.ShedCells++
-		if o := s.obs; o != nil {
-			o.CellsShed.Inc()
+		// Exponential coalescing: record the 1st, 2nd, 4th... shed so a
+		// sustained episode leaves a bounded trail in the event ring.
+		if n := s.stat.ShedCells; s.fr != nil && n&(n-1) == 0 {
+			s.fr.Record(obs.FRShed, s.stat.PktsIn, int64(n))
 		}
 		return
 	}
@@ -512,9 +576,7 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 		s.stat.Evictions[reason]++
 		s.stat.CellsOut += uint64(len(cells))
 		if o := s.obs; o != nil {
-			o.Evictions[reason].Inc()
-			o.CellsOut.Add(uint64(len(cells)))
-			o.CellsPerMsg.Observe(int64(len(cells)))
+			s.cellsPerMsg.Observe(int64(len(cells)))
 			if o.Tracer.Sampled(sl.hash) {
 				o.Tracer.Record(obs.EvEvict, sl.key, s.stat.PktsIn, reason, uint16(len(cells)))
 			}
@@ -524,15 +586,11 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 	if release && sl.longIdx >= 0 {
 		s.stack = append(s.stack, sl.longIdx)
 		sl.longIdx = -1
-		if o := s.obs; o != nil {
-			o.LongGranted.Add(-1)
-		}
+		s.longGrant--
 	}
 	if reason == gpv.EvictCollision || reason == gpv.EvictAging || reason == gpv.EvictFlush {
 		sl.occupied = false
-		if o := s.obs; o != nil {
-			o.OccupiedSlots.Add(-1)
-		}
+		s.occSlots--
 	}
 }
 
@@ -540,12 +598,7 @@ func (s *Switch) evict(sl *slot, reason gpv.EvictReason, release bool) {
 // sink.
 func (s *Switch) emit(m gpv.Message) {
 	s.stat.MsgsOut++
-	sz := uint64(m.EncodedSize())
-	s.stat.BytesOut += sz
-	if o := s.obs; o != nil {
-		o.MsgsOut.Inc()
-		o.BytesOut.Add(sz)
-	}
+	s.stat.BytesOut += uint64(m.EncodedSize())
 	s.out(m)
 }
 
@@ -558,6 +611,7 @@ func (s *Switch) Flush() {
 			s.evict(&s.slots[i], gpv.EvictFlush, true)
 		}
 	}
+	s.publishObs()
 }
 
 // Occupancy returns the number of occupied CG slots and the number of
