@@ -14,6 +14,18 @@
 // approximation, and the sequential engine's single FG table collides
 // on different keys than the parallel engine's per-shard tables.
 //
+// Every case also runs the planprove soundness cross-check: a plan
+// proved saturation-free must not trip any simulator saturation
+// clamp, and every confirmed value-range witness must replay to an
+// actual clamp trip on a fresh engine. A third of the
+// single-granularity cases additionally re-run under a scoped fault
+// campaign, asserting out-of-scope bit-equivalence and (for
+// non-corrupting kinds) clamp soundness under faults.
+//
+// The case count honours the SUPERFE_FUZZ_N environment variable
+// when -n is not given, so nightly CI can widen the campaign without
+// touching the per-PR budget.
+//
 // CI runs a fixed-seed campaign on every PR:
 //
 //	go run ./cmd/superfe-fuzz -seed 1 -n 200
@@ -31,6 +43,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"superfe/internal/polgen"
 )
@@ -43,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("superfe-fuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	seed := fs.Int64("seed", 1, "campaign seed; case i is Generate(seed, i)")
-	n := fs.Int("n", 200, "number of cases")
+	n := fs.Int("n", defaultCases(), "number of cases (default honours $SUPERFE_FUZZ_N)")
 	flows := fs.Int("flows", 0, "trace flow count per case (0 = default)")
 	corpus := fs.String("corpus", filepath.Join("internal", "polgen", "testdata", "corpus"),
 		"directory shrunk reproducers are written to (empty disables)")
@@ -54,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	opts := polgen.RunOptions{Flows: *flows}
 	feasible, infeasible, approx, failures := 0, 0, 0, 0
+	witnesses, faulted := 0, 0
 	for i := 0; i < *n; i++ {
 		spec := polgen.Generate(*seed, i)
 		out := polgen.Run(spec, opts)
@@ -66,8 +80,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if out.Approx {
 			approx++
 		}
+		witnesses += out.Witnesses
+		if out.Faulted {
+			faulted++
+		}
 		if *verbose {
-			fmt.Fprintf(stdout, "case %d (%s): feasible=%v approx=%v vectors=%d\n", i, spec.Name, out.Feasible, out.Approx, out.Vectors)
+			fmt.Fprintf(stdout, "case %d (%s): feasible=%v approx=%v vectors=%d witnesses=%d faulted=%v\n",
+				i, spec.Name, out.Feasible, out.Approx, out.Vectors, out.Witnesses, out.Faulted)
 		}
 		if !out.Failed() {
 			continue
@@ -95,12 +114,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "superfe-fuzz: minimal reproducer:\n%s", b)
 	}
 
-	fmt.Fprintf(stdout, "superfe-fuzz: %d case(s): %d feasible (ran differential), %d infeasible (classified), %d approximate (FG collisions, comparison skipped), %d failure(s)\n",
-		*n, feasible, infeasible, approx, failures)
+	fmt.Fprintf(stdout, "superfe-fuzz: %d case(s): %d feasible (ran differential), %d infeasible (classified), %d approximate (FG collisions, comparison skipped), %d witness replay(s), %d faulted run(s), %d failure(s)\n",
+		*n, feasible, infeasible, approx, witnesses, faulted, failures)
 	if failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// defaultCases is the -n default: 200 for the per-PR budget, or
+// whatever SUPERFE_FUZZ_N says (nightly CI raises it).
+func defaultCases() int {
+	if s := os.Getenv("SUPERFE_FUZZ_N"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 200
 }
 
 func failureReason(out *polgen.Outcome) string {
@@ -109,6 +139,12 @@ func failureReason(out *polgen.Outcome) string {
 		return "generated spec does not build: " + out.BuildErr
 	case out.Overflow:
 		return "planvet accepted the plan but the switch resource estimate overflowed its clamp"
+	case out.WitnessFailed != "":
+		return "witness soundness: " + out.WitnessFailed
+	case out.Soundness != "":
+		return "prover soundness: " + out.Soundness
+	case out.FaultViolation != "":
+		return "fault campaign: " + out.FaultViolation
 	default:
 		return "engine divergence: " + out.Divergence
 	}

@@ -23,9 +23,19 @@
 // plan outgrows the pipeline fails the build with a diagnostic naming
 // the violated resource.
 //
-// -json emits findings (or plan reports under -plans) as a JSON
-// array on stdout for tooling; -fix-hints appends a remediation hint
-// to each source finding.
+// -prove (with -plans) additionally gates on the planprove
+// value-range proofs: each plan's abstract-interpretation findings
+// are printed with their concrete witnesses, matched against the
+// documented waiver catalogs (apps.Waivers, policies.Waivers), and
+// any unwaived warning-or-worse finding fails the run. CI runs
+// `superfe-vet -plans -prove` so a plan that can saturate a register,
+// clamp a histogram unexpectedly, or overflow a fixed-point lane is
+// rejected with a value-range witness before it ships.
+//
+// -json emits findings (or plan reports under -plans, proofs
+// included) as a JSON array on stdout for tooling; -fix-hints appends
+// a remediation hint to each source finding and to each unwaived
+// proof finding.
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"superfe/internal/lint"
 	"superfe/internal/lint/analysis"
 	"superfe/internal/lint/loader"
+	"superfe/internal/planprove"
 	"superfe/internal/planvet"
 	"superfe/internal/policy"
 )
@@ -53,11 +64,12 @@ func run() int {
 	sel := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	plans := flag.Bool("plans", false, "check registered policy plans against the hardware model instead of analyzing source")
+	prove := flag.Bool("prove", false, "with -plans: gate on the planprove value-range proofs (unwaived warnings fail)")
 	jsonOut := flag.Bool("json", false, "emit findings (or plan reports) as JSON on stdout")
 	hints := flag.Bool("fix-hints", false, "append a remediation hint to each finding")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: superfe-vet [-analyzers a,b] [-json] [-fix-hints] [packages]\n"+
-			"       superfe-vet -plans [-json] [patterns]\n\nAnalyzers:\n")
+			"       superfe-vet -plans [-prove] [-json] [-fix-hints] [patterns]\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
@@ -65,7 +77,11 @@ func run() int {
 	flag.Parse()
 
 	if *plans {
-		return runPlans(flag.Args(), *jsonOut)
+		return runPlans(flag.Args(), *prove, *jsonOut, *hints)
+	}
+	if *prove {
+		fmt.Fprintln(os.Stderr, "superfe-vet: -prove requires -plans")
+		return 2
 	}
 
 	all := lint.Analyzers()
@@ -256,16 +272,29 @@ func matchPattern(pkg, pattern string) bool {
 	return pkg == pattern
 }
 
+// proveHints maps each planprove finding class to its standard
+// remediation, mirroring fixHints for the source analyzers.
+var proveHints = map[string]string{
+	planprove.ClassHistRange:    "widen the histogram (more bins or a larger bin width) to cover the proved input range, bound the input with a filter predicate, or waive the designed tail clamp with a documented Waiver",
+	planprove.ClassFixedPoint:   "bound the reducer input with a filter predicate, pre-scale it with a mapping stage, or waive the saturation with a Waiver documenting the operational envelope",
+	planprove.ClassMapOverflow:  "bound the f_speed source field with a filter predicate so size×1e9 stays inside int64",
+	planprove.ClassCellRegister: "batch a narrower field or drop it from the metadata layout; only fields inside their register width deploy without saturation",
+	planprove.ClassFGIndex:      "shrink Config.FGTableSize to 32768 or fewer entries; the wire cell header has 15 index bits",
+}
+
 // runPlans implements -plans: compile every registered policy whose
 // home package matches a pattern and check the plan against the
-// hardware model.
-func runPlans(patterns []string, jsonOut bool) int {
+// hardware model. Under prove, the planprove value-range findings
+// gate too: every warning-or-worse finding must carry a documented
+// waiver from the policy catalogs.
+func runPlans(patterns []string, prove, jsonOut, hints bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	waivers := append(apps.Waivers(), policies.Waivers()...)
 	model := planvet.DefaultModel()
 	var reports []*planvet.Report
-	infeasible := 0
+	infeasible, unsafe, waived := 0, 0, 0
 	for _, e := range planRegistry() {
 		matched := false
 		for _, p := range patterns {
@@ -286,6 +315,9 @@ func runPlans(patterns []string, jsonOut bool) int {
 		if !r.Feasible() {
 			infeasible++
 		}
+		if prove && len(r.Proof.Unwaived(waivers)) > 0 {
+			unsafe++
+		}
 	}
 	if len(reports) == 0 {
 		fmt.Fprintf(os.Stderr, "superfe-vet: no registered plans match %v\n", patterns)
@@ -301,14 +333,61 @@ func runPlans(patterns []string, jsonOut bool) int {
 	} else {
 		for _, r := range reports {
 			fmt.Print(r.String())
+			if prove {
+				waived += printProof(r.Proof, waivers, hints)
+			}
 		}
 	}
-	if infeasible > 0 {
-		fmt.Fprintf(os.Stderr, "superfe-vet: %d of %d plan(s) infeasible\n", infeasible, len(reports))
+	if infeasible > 0 || unsafe > 0 {
+		fmt.Fprintf(os.Stderr, "superfe-vet: %d of %d plan(s) infeasible, %d unproved\n",
+			infeasible, len(reports), unsafe)
 		return 1
 	}
 	if !jsonOut {
-		fmt.Printf("superfe-vet: %d plan(s) feasible\n", len(reports))
+		if prove {
+			fmt.Printf("superfe-vet: %d plan(s) feasible and proved (%d waived finding(s))\n", len(reports), waived)
+		} else {
+			fmt.Printf("superfe-vet: %d plan(s) feasible\n", len(reports))
+		}
 	}
 	return 0
+}
+
+// printProof renders the prove section for one plan: the verdict,
+// then every warning-or-worse finding with its witness, waiver status
+// and optional fix hint. The proved site ranges stay implicit here —
+// they are in the -json output. Returns the number of waived
+// findings.
+func printProof(p *planprove.Result, waivers []planprove.Waiver, hints bool) int {
+	if unwaived := p.Unwaived(waivers); len(unwaived) > 0 {
+		fmt.Printf("prove %-10s UNSAFE (%d unwaived finding(s))\n", p.Plan, len(unwaived))
+	} else {
+		fmt.Printf("prove %-10s PROVED (%d site(s))\n", p.Plan, len(p.Ranges))
+	}
+	waived := 0
+	for _, f := range p.Findings {
+		if f.Sev < planprove.SevWarn {
+			continue
+		}
+		fmt.Printf("  %-5s %s %s: %s\n", f.Sev, f.Class, f.Site, f.Detail)
+		if w := f.Witness; w != nil {
+			state := "unconfirmed"
+			if w.Confirmed {
+				state = fmt.Sprintf("replayable, %d packet(s)", len(w.Packets))
+			}
+			fmt.Printf("        witness: %s = %d against bound %d under %s ∈ %s (%s)\n",
+				w.Var, w.Value, w.Bound, w.Var, w.Input, state)
+		}
+		if w, ok := planprove.WaiverFor(f, waivers); ok {
+			waived++
+			fmt.Printf("        waived: %s\n", w.Reason)
+			continue
+		}
+		if hints {
+			if h := proveHints[f.Class]; h != "" {
+				fmt.Printf("        hint: %s\n", h)
+			}
+		}
+	}
+	return waived
 }

@@ -13,6 +13,7 @@ package apps
 import (
 	"superfe/internal/flowkey"
 	"superfe/internal/packet"
+	"superfe/internal/planprove"
 	"superfe/internal/policy"
 	"superfe/internal/streaming"
 )
@@ -298,4 +299,28 @@ func Kitsune() *policy.Policy {
 // dimensions.
 func HELAD() *policy.Policy {
 	return kitsuneBody("HELAD", false, kitsuneLambdas)
+}
+
+// Waivers returns the documented planprove waivers for the catalog:
+// each Table 3 policy whose value-range proof flags a clamp or a
+// fixed-point saturation carries the operational-envelope argument
+// for accepting it. The waivers are deliberately narrow — a new
+// finding class on any of these plans still fails `superfe-vet -plans
+// -prove`.
+func Waivers() []planprove.Waiver {
+	const (
+		iptLane  = "inter-packet gaps are 64-bit nanosecond counts; gaps past ~2.1s exceed the 32-bit fixed-point input lane and saturate to the lane maximum, which the detectors tolerate (a 2.1s-saturated mean still separates the classes)"
+		damped   = "damped-window statistics ride the packed 16-bit lane; the deployed firmware block-rescales size (MSS-bounded ≤ 1500) and nanosecond-gap inputs by 2^-10 before accumulating, trading 3 decimal digits of precision documented in DESIGN.md §14"
+		histTail = "the histogram clamp is the designed binning semantics: tail mass past the last bin edge lands in the last bin (and pre-epoch negatives in bin 0), exactly the distribution shape the detector trains on"
+	)
+	return []planprove.Waiver{
+		{Plan: "PeerShark", Class: planprove.ClassFixedPoint, Reason: iptLane},
+		{Plan: "PeerShark", Class: planprove.ClassHistRange, Reason: histTail},
+		{Plan: "N-BaIoT", Class: planprove.ClassFixedPoint, Reason: damped},
+		{Plan: "MPTD", Class: planprove.ClassFixedPoint, Reason: iptLane + "; burst and speed ride the same saturating lane"},
+		{Plan: "MPTD", Class: planprove.ClassHistRange, Reason: histTail},
+		{Plan: "NPOD", Class: planprove.ClassHistRange, Reason: histTail},
+		{Plan: "HELAD", Class: planprove.ClassFixedPoint, Reason: damped},
+		{Plan: "Kitsune", Class: planprove.ClassFixedPoint, Reason: damped},
+	}
 }

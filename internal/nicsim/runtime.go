@@ -2,6 +2,7 @@ package nicsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"superfe/internal/faults"
@@ -108,7 +109,19 @@ type RuntimeStats struct {
 	Vectors     uint64
 	// EMEMDrops counts per-granularity cell contributions dropped by
 	// injected transient EMEM allocation failures on group admission.
-	EMEMDrops   uint64
+	EMEMDrops uint64
+	// RangeClamps counts reducer inputs outside the narrowest
+	// clamp-free histogram range of their reduce op (streaming
+	// behaviourally clamps them: tails into the last bin, negatives
+	// into bin 0). SatInputs counts inputs inside every clamp range
+	// whose magnitude exceeds the op's narrowest fixed-point input
+	// lane (streaming.Contract.FixedPointMax): exact in the int64
+	// simulator, saturating on a deployed dataplane. Both are
+	// counter-only — values pass through unmodified — and are the
+	// ground truth planprove's static verdicts are cross-checked
+	// against (a plan proved clean must keep both at zero).
+	RangeClamps uint64
+	SatInputs   uint64
 	GroupsLive  int // gauge: live per-granularity group-state entries
 	DRAMEntries int // gauge: group-table entries past the fixed chain (modelled)
 }
@@ -125,6 +138,8 @@ func (s *RuntimeStats) Add(o RuntimeStats) {
 	s.UnknownFG += o.UnknownFG
 	s.Vectors += o.Vectors
 	s.EMEMDrops += o.EMEMDrops
+	s.RangeClamps += o.RangeClamps
+	s.SatInputs += o.SatInputs
 	s.GroupsLive += o.GroupsLive
 	s.DRAMEntries += o.DRAMEntries
 }
@@ -139,6 +154,12 @@ type instruction struct {
 	// reduce: source resolution and the group-local reducer indices,
 	// one per ReduceSpec.
 	reducerIdx []int
+	// reduce: the narrowest input contracts across the op's reducers
+	// (see streaming.ContractFor), priced once at compile time so the
+	// per-cell saturation accounting is two compares. satLo/satHi
+	// bound the clamp-free range [satLo, satHi); fpMax bounds |x| for
+	// the fixed-point input lane.
+	satLo, satHi, fpMax int64
 	// collect/synthesize bookkeeping: index of the reduce instruction
 	// whose output the collect emits (pre-resolved in emit plans).
 }
@@ -350,10 +371,23 @@ func compileProgram(plan *policy.Plan, g flowkey.Granularity, fieldPos map[packe
 			if err != nil {
 				return nil, err
 			}
-			ins := instruction{op: op, src: ref}
+			ins := instruction{op: op, src: ref,
+				satLo: math.MinInt64, satHi: math.MaxInt64, fpMax: math.MaxInt64}
 			for _, rf := range op.Reducers {
 				ins.reducerIdx = append(ins.reducerIdx, len(pr.reducerSpec))
 				pr.reducerSpec = append(pr.reducerSpec, rf)
+				ct := streaming.ContractFor(rf.Func, rf.Params)
+				if ct.Clamps {
+					if ct.InLo > ins.satLo {
+						ins.satLo = ct.InLo
+					}
+					if ct.InHi < ins.satHi {
+						ins.satHi = ct.InHi
+					}
+				}
+				if ct.FixedPointMax < ins.fpMax {
+					ins.fpMax = ct.FixedPointMax
+				}
 			}
 			pr.instrs = append(pr.instrs, ins)
 			if pendingEmit == nil {
@@ -632,6 +666,16 @@ func (r *Runtime) runCell(pr *program, g *group, cell *gpv.Cell, fwd bool, dst [
 			env[ins.dstSlot] = out
 		case policy.OpReduce:
 			x := loadRef(env, cell, ins.src)
+			// Saturation accounting against the op's narrowest input
+			// contracts (counter-only; the reducers see x unmodified).
+			// Order mirrors the contract semantics: an input already
+			// absorbed by a behavioural histogram clamp is not also a
+			// fixed-point saturation.
+			if x < ins.satLo || x >= ins.satHi {
+				r.stats.RangeClamps++
+			} else if x > ins.fpMax || x < -ins.fpMax {
+				r.stats.SatInputs++
+			}
 			for _, ri := range ins.reducerIdx {
 				if tr, ok := g.reducers[ri].(streaming.TimedReducer); ok {
 					tr.ObserveAt(x, int64(ts))

@@ -1,0 +1,134 @@
+package planprove
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Interval is the abstract value domain: a closed int64 range
+// [Lo, Hi]. MinInt64/MaxInt64 stand for unbounded sides; arithmetic
+// saturates at them, so an overflowing transfer widens to unbounded
+// instead of wrapping — the sound direction for a verifier.
+type Interval struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// unbounded is the top element of the domain.
+var unbounded = Interval{math.MinInt64, math.MaxInt64}
+
+// point is the singleton interval {v}.
+func point(v int64) Interval { return Interval{v, v} }
+
+// span is the interval [lo, hi].
+func span(lo, hi int64) Interval { return Interval{lo, hi} }
+
+// Empty reports whether the interval contains no values (the result
+// of intersecting contradictory predicate constraints).
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Intersect meets two intervals.
+func (iv Interval) Intersect(o Interval) Interval {
+	if o.Lo > iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi < iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// Hull joins two intervals (the convex hull — the join of the
+// lattice, used for Or-predicates and ± cases).
+func (iv Interval) Hull(o Interval) Interval {
+	if o.Lo < iv.Lo {
+		iv.Lo = o.Lo
+	}
+	if o.Hi > iv.Hi {
+		iv.Hi = o.Hi
+	}
+	return iv
+}
+
+// Neg negates the interval.
+func (iv Interval) Neg() Interval {
+	return Interval{satNeg(iv.Hi), satNeg(iv.Lo)}
+}
+
+// MulConst multiplies both bounds by a non-negative constant,
+// saturating on overflow. The overflow flag reports saturation — the
+// signal for a map-overflow finding, since the simulator's int64
+// arithmetic would silently wrap where the abstract domain saturates.
+func (iv Interval) MulConst(c int64) (Interval, bool) {
+	lo, ofLo := satMul(iv.Lo, c)
+	hi, ofHi := satMul(iv.Hi, c)
+	return Interval{lo, hi}, ofLo || ofHi
+}
+
+func satNeg(v int64) int64 {
+	switch v {
+	case math.MinInt64:
+		return math.MaxInt64
+	case math.MaxInt64:
+		return math.MinInt64
+	}
+	return -v
+}
+
+// satMul multiplies with saturation at ±MaxInt64 and reports whether
+// it saturated. c must be non-negative.
+func satMul(v, c int64) (int64, bool) {
+	if v == 0 || c == 0 {
+		return 0, false
+	}
+	if v == math.MinInt64 || v == math.MaxInt64 {
+		return v, false // already unbounded, not a new overflow
+	}
+	neg := v < 0
+	uv := uint64(v)
+	if neg {
+		uv = uint64(-v)
+	}
+	hi, lo := bits.Mul64(uv, uint64(c))
+	if hi != 0 || lo > uint64(math.MaxInt64) {
+		if neg {
+			return math.MinInt64, true
+		}
+		return math.MaxInt64, true
+	}
+	if neg {
+		return -int64(lo), false
+	}
+	return int64(lo), false
+}
+
+// String renders the interval with power-of-two bounds in 2^k
+// notation, matching the witness style of the proof reports
+// ("ts_delta ∈ [0, 2^32)").
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "∅"
+	}
+	lo := fmtBound(iv.Lo, false)
+	// An inclusive Hi of 2^k-1 renders as an exclusive 2^k.
+	if iv.Hi != math.MaxInt64 && iv.Hi >= 255 && isPow2(uint64(iv.Hi)+1) {
+		return fmt.Sprintf("[%s, 2^%d)", lo, bits.TrailingZeros64(uint64(iv.Hi)+1))
+	}
+	return fmt.Sprintf("[%s, %s]", lo, fmtBound(iv.Hi, true))
+}
+
+func isPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+func fmtBound(v int64, hi bool) string {
+	switch v {
+	case math.MinInt64:
+		return "-inf"
+	case math.MaxInt64:
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", v)
+}

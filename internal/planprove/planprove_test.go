@@ -1,0 +1,473 @@
+package planprove
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"superfe/internal/core"
+	"superfe/internal/feature"
+	"superfe/internal/flowkey"
+	"superfe/internal/nicsim"
+	"superfe/internal/packet"
+	"superfe/internal/policy"
+	"superfe/internal/streaming"
+	"superfe/internal/switchsim"
+)
+
+func mustPlan(t *testing.T, pol *policy.Policy) *policy.Plan {
+	t.Helper()
+	plan, err := policy.Compile(pol)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return plan
+}
+
+func check(t *testing.T, pol *policy.Policy) *Result {
+	t.Helper()
+	return Check(switchsim.DefaultConfig(), pol.Name(), mustPlan(t, pol))
+}
+
+func findingsOf(r *Result, class string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Class == class {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// replay runs the plan on the witness packets through the full
+// engine (switch batching + wire codec + NIC runtime) and returns
+// the saturation counters planprove's verdicts are cross-checked
+// against.
+func replay(t *testing.T, pol *policy.Policy, pkts []packet.Packet) (switchsim.Stats, nicsim.RuntimeStats) {
+	t.Helper()
+	opts := core.DefaultOptions()
+	opts.VerifyWire = true
+	var vecs []feature.Vector
+	fe, err := core.New(opts, pol, feature.Collect(&vecs))
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	for i := range pkts {
+		fe.Process(&pkts[i])
+	}
+	fe.Flush()
+	if err := fe.Err(); err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	return fe.SwitchStats(), fe.NICStats()
+}
+
+// tripped sums every saturation counter — the ground truth a Clean
+// verdict asserts stays zero.
+func tripped(sw switchsim.Stats, nic nicsim.RuntimeStats) uint64 {
+	return sw.CellSaturations + sw.FGIndexClips + nic.RangeClamps + nic.SatInputs
+}
+
+func TestIntervalString(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{span(0, 1<<16-1), "[0, 2^16)"},
+		{span(0, u32max), "[0, 2^32)"},
+		{span(0, 255), "[0, 2^8)"},
+		{span(0, 63), "[0, 63]"}, // below the 2^k threshold
+		{point(7), "[7, 7]"},
+		{span(-5, 10), "[-5, 10]"},
+		{unbounded, "[-inf, +inf]"},
+		{span(0, math.MaxInt64), "[0, +inf]"},
+		{span(5, 4), "∅"},
+	}
+	for _, c := range cases {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	if got := span(0, 10).Intersect(span(5, 20)); got != span(5, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := span(0, 10).Hull(span(-5, 3)); got != span(-5, 10) {
+		t.Errorf("Hull = %v", got)
+	}
+	if got := span(2, 5).Neg(); got != span(-5, -2) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := unbounded.Neg(); got != unbounded {
+		t.Errorf("Neg(unbounded) = %v", got)
+	}
+	if iv, of := span(0, 1<<20).MulConst(1e9); of || iv.Hi != int64(1<<20)*int64(1e9) {
+		t.Errorf("MulConst = %v overflow=%v", iv, of)
+	}
+	if iv, of := span(0, math.MaxInt64/2).MulConst(1e9); !of || iv.Hi != math.MaxInt64 {
+		t.Errorf("MulConst overflow: %v overflow=%v", iv, of)
+	}
+	if !span(3, 2).Empty() {
+		t.Error("Empty() = false for inverted interval")
+	}
+}
+
+// The flagship scenario from the issue: an f_ipt input spans
+// [0, 2^32), so a histogram reducer clamps its tail — and the witness
+// replays to an actual RangeClamps trip on the simulators.
+func TestHistClampWitnessReplays(t *testing.T) {
+	pol := policy.New("hist-ipt").
+		Filter(policy.TCPExists()).
+		GroupBy(flowkey.GranFlow).
+		Map("ipt", policy.SrcField(packet.FieldTimestamp), policy.MapIPT).
+		Reduce("ipt", policy.RFHist(64, 8)).
+		Collect().
+		MustBuild()
+	r := check(t, pol)
+	if r.Clean() {
+		t.Fatal("expected UNSAFE verdict")
+	}
+	fs := findingsOf(r, ClassHistRange)
+	if len(fs) != 1 {
+		t.Fatalf("hist-range findings = %d, want 1: %+v", len(fs), r.Findings)
+	}
+	w := fs[0].Witness
+	if w == nil {
+		t.Fatal("no witness attached")
+	}
+	if !w.Confirmed || len(w.Packets) != 2 {
+		t.Fatalf("witness not confirmed with 2 packets: %+v", w)
+	}
+	if w.Value != 512 || w.Bound != 512 {
+		t.Errorf("witness value/bound = %d/%d, want 512/512", w.Value, w.Bound)
+	}
+	if w.Input != span(0, u32max) {
+		t.Errorf("witness input = %v, want [0, 2^32)", w.Input)
+	}
+	sw, nic := replay(t, pol, w.Packets)
+	if nic.RangeClamps == 0 {
+		t.Errorf("witness replay did not trip RangeClamps: sw=%v nic=%+v", sw, nic)
+	}
+	// The same plan also documents the designed timestamp cell wrap —
+	// as Info, which must not affect the verdict of a plan that is
+	// otherwise unsafe only through the histogram.
+	if got := findingsOf(r, ClassCellRegister); len(got) != 1 || got[0].Sev != SevInfo {
+		t.Errorf("cell-register findings = %+v, want one Info (timestamp wrap)", got)
+	}
+}
+
+// f_speed over size reaches size×1e9 ≫ the 32-bit fixed-point input
+// lane; the two-packet witness (1ns apart) replays to SatInputs.
+func TestSpeedFixedPointWitnessReplays(t *testing.T) {
+	pol := policy.New("speed").
+		GroupBy(flowkey.GranFlow).
+		Map("speed", policy.SrcField(packet.FieldSize), policy.MapSpeed).
+		Reduce("speed", policy.RF(streaming.FMean)).
+		Collect().
+		MustBuild()
+	r := check(t, pol)
+	fs := findingsOf(r, ClassFixedPoint)
+	if len(fs) != 1 {
+		t.Fatalf("fixed-point findings = %d: %+v", len(fs), r.Findings)
+	}
+	w := fs[0].Witness
+	if w == nil || !w.Confirmed {
+		t.Fatalf("expected confirmed witness, got %+v", w)
+	}
+	if w.Value != 3e9 { // ceil(2^31/1e9) = 3 bytes over 1ns
+		t.Errorf("witness value = %d, want 3e9", w.Value)
+	}
+	_, nic := replay(t, pol, w.Packets)
+	if nic.SatInputs == 0 {
+		t.Errorf("witness replay did not trip SatInputs: %+v", nic)
+	}
+}
+
+// f_direction at host granularity makes reducer inputs signed:
+// a histogram sees negatives, and the synthesized backward-oriented
+// packet replays to a bin-0 clamp.
+func TestDirectionBinZeroWitnessReplays(t *testing.T) {
+	pol := policy.New("dirhist").
+		GroupBy(flowkey.GranHost).
+		Map("dir", policy.SrcField(packet.FieldSize), policy.MapDirection).
+		Reduce("dir", policy.RFHist(256, 4)).
+		Collect().
+		MustBuild()
+	r := check(t, pol)
+	fs := findingsOf(r, ClassHistRange)
+	if len(fs) != 2 {
+		t.Fatalf("hist-range findings = %d, want 2 (tail + bin 0): %+v", len(fs), r.Findings)
+	}
+	var neg *Finding
+	for i := range fs {
+		if fs[i].Witness != nil && fs[i].Witness.Value < 0 {
+			neg = &fs[i]
+		}
+	}
+	if neg == nil || !neg.Witness.Confirmed {
+		t.Fatalf("no confirmed negative witness: %+v", fs)
+	}
+	_, nic := replay(t, pol, neg.Witness.Packets)
+	if nic.RangeClamps == 0 {
+		t.Errorf("negative witness replay did not trip RangeClamps: %+v", nic)
+	}
+}
+
+// Predicate seeding: a filter bounding size makes a damped reduce
+// over size provably safe; dropping the filter makes it unsafe (the
+// packed 16-bit damped lane saturates past 2^15-1).
+func TestPredicateSeedingProvesClean(t *testing.T) {
+	bounded := policy.New("bounded").
+		Filter(policy.FieldPred{Field: packet.FieldSize, Op: policy.CmpLe, Value: 1500}).
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RFDamped(streaming.FDMean, 0.1)).
+		Collect().
+		MustBuild()
+	r := check(t, bounded)
+	if !r.Clean() {
+		t.Fatalf("bounded plan should prove clean: %s", r)
+	}
+	var sizeIn *SiteRange
+	for i := range r.Ranges {
+		if r.Ranges[i].Site == "reduce(size)" {
+			sizeIn = &r.Ranges[i]
+		}
+	}
+	if sizeIn == nil || sizeIn.Range != span(0, 1500) {
+		t.Fatalf("reduce(size) range = %+v, want [0, 1500]", sizeIn)
+	}
+
+	unbounded := policy.New("unbounded").
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RFDamped(streaming.FDMean, 0.1)).
+		Collect().
+		MustBuild()
+	r = check(t, unbounded)
+	fs := findingsOf(r, ClassFixedPoint)
+	if len(fs) != 1 {
+		t.Fatalf("unbounded plan fixed-point findings = %d: %+v", len(fs), r.Findings)
+	}
+	if !strings.Contains(fs[0].Detail, "packed 16-bit damped-window") {
+		t.Errorf("detail does not name the damped lane: %s", fs[0].Detail)
+	}
+	w := fs[0].Witness
+	if w == nil || !w.Confirmed || w.Value != streaming.DampedFixedPointInputMax+1 {
+		t.Fatalf("witness = %+v, want confirmed value %d", w, streaming.DampedFixedPointInputMax+1)
+	}
+	_, nic := replay(t, unbounded, w.Packets)
+	if nic.SatInputs == 0 {
+		t.Errorf("damped witness replay did not trip SatInputs: %+v", nic)
+	}
+}
+
+// De Morgan push-down: !(size > 1500 || udp) constrains size the same
+// way size ≤ 1500 does.
+func TestPredicateNegation(t *testing.T) {
+	pol := policy.New("negated").
+		Filter(policy.Not(policy.Or(
+			policy.FieldPred{Field: packet.FieldSize, Op: policy.CmpGt, Value: 1500},
+			policy.UDPExists()))).
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RFDamped(streaming.FDMean, 0.1)).
+		Collect().
+		MustBuild()
+	if r := check(t, pol); !r.Clean() {
+		t.Fatalf("negated-filter plan should prove clean: %s", r)
+	}
+}
+
+func TestUnsatisfiableFilter(t *testing.T) {
+	pol := policy.New("unsat").
+		Filter(policy.And(
+			policy.FieldPred{Field: packet.FieldSize, Op: policy.CmpLt, Value: 100},
+			policy.FieldPred{Field: packet.FieldSize, Op: policy.CmpGt, Value: 200})).
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RFHist(1, 2)). // would be unsafe if reachable
+		Collect().
+		MustBuild()
+	r := check(t, pol)
+	if !r.Clean() {
+		t.Fatalf("unsatisfiable filter should be vacuously clean: %s", r)
+	}
+	if fs := findingsOf(r, ClassFilter); len(fs) != 1 || fs[0].Sev != SevInfo {
+		t.Fatalf("filter findings = %+v, want one Info", r.Findings)
+	}
+}
+
+// An FG table wider than the 15-bit wire index space is rejected
+// statically, and a multi-flow run on the same configuration trips
+// the runtime FGIndexClips counter the proof predicts.
+func TestFGIndexWidth(t *testing.T) {
+	pol := policy.New("two-gran").
+		GroupBy(flowkey.GranHost).
+		Reduce("size", policy.RF(streaming.FSum)).
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RF(streaming.FSum)).
+		Collect().
+		MustBuild()
+	plan := mustPlan(t, pol)
+
+	cfg := switchsim.DefaultConfig()
+	if r := Check(cfg, pol.Name(), plan); len(findingsOf(r, ClassFGIndex)) != 0 {
+		t.Fatalf("default config should fit the wire index: %+v", r.Findings)
+	}
+	cfg.FGTableSize = 1 << 16
+	r := Check(cfg, pol.Name(), plan)
+	fs := findingsOf(r, ClassFGIndex)
+	if len(fs) != 1 || fs[0].Sev != SevError {
+		t.Fatalf("fg-index findings = %+v, want one Error", r.Findings)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Switch.FGTableSize = 1 << 16
+	fe, err := core.New(opts, pol, func(feature.Vector) {})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	for i := 0; i < 256; i++ {
+		p := packet.Packet{
+			Tuple: flowkey.FiveTuple{
+				SrcIP: 0x0a000001 + uint32(i), DstIP: 0x0a010001,
+				SrcPort: uint16(40000 + i), DstPort: 443,
+				Proto: flowkey.ProtoTCP,
+			},
+			Timestamp: int64(i) * 1000, Size: 100, TTL: 64, Ingress: 1,
+		}
+		fe.Process(&p)
+	}
+	fe.Flush()
+	if fe.SwitchStats().FGIndexClips == 0 {
+		t.Error("oversized FG table produced no FGIndexClips at runtime")
+	}
+}
+
+// A single-granularity plan ships no FG indices, so table width is
+// irrelevant to it.
+func TestFGIndexSingleGranularityExempt(t *testing.T) {
+	pol := policy.New("one-gran").
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RF(streaming.FSum)).
+		Collect().
+		MustBuild()
+	cfg := switchsim.DefaultConfig()
+	cfg.FGTableSize = 1 << 16
+	if r := Check(cfg, pol.Name(), mustPlan(t, pol)); len(findingsOf(r, ClassFGIndex)) != 0 {
+		t.Fatalf("single-granularity plan flagged fg-index: %+v", r.Findings)
+	}
+}
+
+// The cross-check contract, from the clean side: a proved-clean plan
+// must keep every saturation counter at zero on any admissible trace.
+func TestCleanPlanTripsNothing(t *testing.T) {
+	pol := policy.New("clean").
+		Filter(policy.TCPExists()).
+		GroupBy(flowkey.GranFlow).
+		Map("one", policy.SrcNone, policy.MapOne).
+		Reduce("one", policy.RF(streaming.FSum)).
+		Reduce("size", policy.RF(streaming.FMean), policy.RF(streaming.FMax)).
+		Collect().
+		MustBuild()
+	r := check(t, pol)
+	if !r.Clean() {
+		t.Fatalf("expected clean: %s", r)
+	}
+	var pkts []packet.Packet
+	for i := 0; i < 64; i++ {
+		pkts = append(pkts, packet.Packet{
+			Tuple: flowkey.FiveTuple{
+				SrcIP: 0x0a000001, DstIP: 0x0a000002,
+				SrcPort: uint16(50000 + i%4), DstPort: 443,
+				Proto: flowkey.ProtoTCP,
+			},
+			Timestamp: int64(i) * 1_000_000, Size: uint32(64 + i*23%1400),
+			TTL: 64, Ingress: 1,
+		})
+	}
+	sw, nic := replay(t, pol, pkts)
+	if n := tripped(sw, nic); n != 0 {
+		t.Errorf("clean plan tripped %d saturation counters: sw=%v nic=%+v", n, sw, nic)
+	}
+}
+
+func TestWaivers(t *testing.T) {
+	f := Finding{Plan: "p", Class: ClassFixedPoint, Sev: SevError, Site: "f_mean(ipt)@flow"}
+	ws := []Waiver{
+		{Plan: "other", Class: ClassFixedPoint, Reason: "different plan"},
+		{Plan: "p", Class: ClassHistRange, Reason: "different class"},
+		{Plan: "p", Class: ClassFixedPoint, Site: "f_var(ipt)@flow", Reason: "different site"},
+	}
+	if _, ok := WaiverFor(f, ws); ok {
+		t.Error("non-matching waivers matched")
+	}
+	ws = append(ws, Waiver{Plan: "p", Class: ClassFixedPoint, Reason: "gaps past 2.1s saturate harmlessly"})
+	if w, ok := WaiverFor(f, ws); !ok || w.Reason != "gaps past 2.1s saturate harmlessly" {
+		t.Errorf("class-wide waiver did not match: %+v ok=%v", w, ok)
+	}
+
+	r := &Result{Plan: "p", Findings: []Finding{
+		{Plan: "p", Class: ClassCellRegister, Sev: SevInfo, Site: "cell[0]=tstamp"},
+		f,
+	}}
+	if got := r.Unwaived(nil); len(got) != 1 || got[0].Class != ClassFixedPoint {
+		t.Errorf("Unwaived(nil) = %+v, want just the Error", got)
+	}
+	if got := r.Unwaived(ws); len(got) != 0 {
+		t.Errorf("Unwaived(ws) = %+v, want none", got)
+	}
+}
+
+// Findings order and the full report must be deterministic across
+// repeated checks of the same plan.
+func TestDeterministicReport(t *testing.T) {
+	pol := policy.New("det").
+		GroupBy(flowkey.GranHost).
+		Map("dir", policy.SrcField(packet.FieldSize), policy.MapDirection).
+		Map("ipt", policy.SrcField(packet.FieldTimestamp), policy.MapIPT).
+		Reduce("dir", policy.RFHist(256, 4)).
+		Reduce("ipt", policy.RF(streaming.FMean), policy.RFHist(64, 8)).
+		Collect().
+		MustBuild()
+	plan := mustPlan(t, pol)
+	first := Check(switchsim.DefaultConfig(), pol.Name(), plan).String()
+	for i := 0; i < 8; i++ {
+		if got := Check(switchsim.DefaultConfig(), pol.Name(), plan).String(); got != first {
+			t.Fatalf("run %d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	// JSON round-trips with named severities.
+	b, err := json.Marshal(Check(switchsim.DefaultConfig(), pol.Name(), plan))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(b), `"sev":"warn"`) || !strings.Contains(string(b), `"sev":"error"`) {
+		t.Errorf("JSON severities not named: %s", b)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	clean := policy.New("ok-plan").
+		GroupBy(flowkey.GranFlow).
+		Reduce("size", policy.RF(streaming.FMean)).
+		Collect().
+		MustBuild()
+	s := check(t, clean).String()
+	if !strings.Contains(s, "PROVED") || !strings.Contains(s, "1 site(s)") {
+		t.Errorf("clean report: %q", s)
+	}
+
+	unsafe := policy.New("bad-plan").
+		GroupBy(flowkey.GranFlow).
+		Map("ipt", policy.SrcField(packet.FieldTimestamp), policy.MapIPT).
+		Reduce("ipt", policy.RFHist(64, 8)).
+		Collect().
+		MustBuild()
+	s = check(t, unsafe).String()
+	for _, want := range []string{"UNSAFE", "hist-range", "witness: ipt = 512", "replayable, 2 packet(s)", "[0, 2^32)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("unsafe report missing %q:\n%s", want, s)
+		}
+	}
+}

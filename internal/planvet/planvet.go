@@ -30,13 +30,22 @@
 //	nic-state-budget   one state must fit the EMEM per-group budget,
 //	                   or the placement ILP has no feasible column
 //	nic-placement      the §6.2 placement ILP must be solvable
+//
+// Since PR 9, Check also runs a second verification phase: the
+// planprove abstract interpreter proves value ranges for every mapped
+// key and reducer input and attaches its proof report to
+// Report.Proof. Resource feasibility (Feasible) and value-range
+// safety (Proof.Clean) are independent verdicts: a plan can fit the
+// hardware yet saturate a fixed-point lane, and vice versa.
 package planvet
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"superfe/internal/nicsim"
+	"superfe/internal/planprove"
 	"superfe/internal/policy"
 	"superfe/internal/switchsim"
 )
@@ -99,6 +108,11 @@ type Report struct {
 	NICWorstB  int     // widest single state in bytes
 
 	Findings []Finding
+
+	// Proof is the phase-2 value-range verification report (the
+	// planprove abstract interpreter); nil only for reports built by
+	// direct struct construction.
+	Proof *planprove.Result
 }
 
 // Feasible reports whether every check passed.
@@ -131,16 +145,35 @@ func (r *Report) String() string {
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  FAIL %s: %s\n", f.Resource, f.Detail)
 	}
+	if r.Proof != nil {
+		for _, f := range r.Proof.Findings {
+			if f.Sev < planprove.SevWarn {
+				continue
+			}
+			fmt.Fprintf(&b, "  PROVE %s %s %s: %s\n", f.Sev, f.Class, f.Site, f.Detail)
+		}
+	}
 	return b.String()
 }
 
 // Check verifies one compiled plan against the model and returns the
-// cost report.
+// cost report: phase 1 is the resource feasibility checks, phase 2
+// the planprove value-range proofs. Findings are sorted by resource,
+// then message, so JSON output and goldens are stable regardless of
+// check order.
 func Check(m Model, name string, plan *policy.Plan) *Report {
 	r := &Report{Name: name}
 	checkSwitch(m, r, plan.Switch)
 	checkChain(r, plan.Switch)
 	checkNIC(m, r, plan.NIC)
+	sort.SliceStable(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.Resource != b.Resource {
+			return a.Resource < b.Resource
+		}
+		return a.Detail < b.Detail
+	})
+	r.Proof = planprove.Check(m.Switch, name, plan)
 	return r
 }
 

@@ -8,6 +8,7 @@ import (
 	"superfe/internal/baseline"
 	"superfe/internal/core"
 	"superfe/internal/feature"
+	"superfe/internal/nicsim"
 	"superfe/internal/planvet"
 	"superfe/internal/policy"
 	"superfe/internal/switchsim"
@@ -41,11 +42,29 @@ type Outcome struct {
 	// Vectors is the sequential engine's output count, a cheap
 	// coverage signal for logs.
 	Vectors int
+	// Witnesses counts the confirmed planprove witnesses replayed
+	// through a fresh engine; WitnessFailed names the first one that
+	// did NOT trip a saturation clamp — a witness the prover promised
+	// was replayable but the runtime disowned.
+	Witnesses     int
+	WitnessFailed string
+	// Soundness names a clean-proved plan that still tripped a
+	// simulator saturation clamp: the abstract interpreter claimed a
+	// range the runtime escaped, which is exactly the bug class the
+	// cross-check exists to catch.
+	Soundness string
+	// Faulted marks that the spec's fault campaign ran;
+	// FaultViolation names a broken fault-pass invariant (out-of-scope
+	// drift, or a clamp trip on a clean-proved plan under
+	// non-corrupting faults).
+	Faulted        bool
+	FaultViolation string
 }
 
 // Failed reports whether the case should fail the fuzz run.
 func (o *Outcome) Failed() bool {
-	return o.BuildErr != "" || o.Overflow || o.Divergence != ""
+	return o.BuildErr != "" || o.Overflow || o.Divergence != "" ||
+		o.WitnessFailed != "" || o.Soundness != "" || o.FaultViolation != ""
 }
 
 // RunOptions tunes the differential execution.
@@ -72,6 +91,11 @@ func Run(spec Spec, opts RunOptions) *Outcome {
 		out.BuildErr = err.Error()
 		return out
 	}
+	fplan, err := spec.FaultPlan()
+	if err != nil {
+		out.BuildErr = err.Error()
+		return out
+	}
 	out.Report = planvet.Check(spec.Model(), spec.Name, plan)
 	out.Feasible = out.Report.Feasible()
 	if !out.Feasible {
@@ -83,6 +107,15 @@ func Run(spec Spec, opts RunOptions) *Outcome {
 	// violation the vetter should have caught.
 	if switchsim.EstimateResources(spec.SwitchConfig(), plan.Switch).Overflow {
 		out.Overflow = true
+		return out
+	}
+
+	// Witness soundness: every confirmed planprove witness promises a
+	// packet sequence that replays to an actual clamp trip. Replay
+	// each through a fresh engine and hold the prover to it.
+	proof := out.Report.Proof
+	out.Witnesses, out.WitnessFailed = replayWitnesses(spec, pol, proof)
+	if out.WitnessFailed != "" {
 		return out
 	}
 
@@ -102,26 +135,39 @@ func Run(spec Spec, opts RunOptions) *Outcome {
 		VerifyWire: true,
 	}
 
-	seq, seqOW, err := runSequential(engineOpts, pol, tr)
+	seq, err := runSequential(engineOpts, pol, tr)
 	if err != nil {
 		out.Divergence = "sequential: " + err.Error()
 		return out
 	}
-	out.Vectors = len(seq)
+	out.Vectors = len(seq.vecs)
 
-	par, parOW, err := runParallel(engineOpts, spec, pol, tr)
+	par, err := runParallel(engineOpts, spec, pol, tr)
 	if err != nil {
 		out.Divergence = "parallel: " + err.Error()
 		return out
 	}
-	if seqOW > 0 || parOW > 0 {
+
+	// Clamp soundness: a plan proved saturation-free must never trip
+	// a simulator clamp, on either engine. (Valid even under FG
+	// collisions — misattributed cells still carry in-range values.)
+	if proof.Clean() {
+		if n := seq.tripped() + par.tripped(); n > 0 {
+			out.Soundness = fmt.Sprintf(
+				"proved saturation-free but the engines tripped %d clamp(s): sequential %s, parallel %s",
+				n, seq.clampCounts(), par.clampCounts())
+			return out
+		}
+	}
+
+	if seq.sw.FGOverwrites > 0 || par.sw.FGOverwrites > 0 {
 		// FG-table collisions occurred; the engines legitimately
 		// disagree (single table vs per-shard tables collide on
 		// different keys), so the byte-identical contract is off.
 		out.Approx = true
 		return out
 	}
-	if d := diffVectors("sequential", seq, "parallel", par); d != "" {
+	if d := diffVectors("sequential", seq.vecs, "parallel", par.vecs); d != "" {
 		out.Divergence = d
 		return out
 	}
@@ -131,29 +177,54 @@ func Run(spec Spec, opts RunOptions) *Outcome {
 		out.Divergence = "baseline: " + err.Error()
 		return out
 	}
-	if d := diffVectors("sequential", seq, "baseline", sw); d != "" {
+	if d := diffVectors("sequential", seq.vecs, "baseline", sw); d != "" {
 		out.Divergence = d
+		return out
+	}
+
+	// Fault campaign: re-run the sequential engine under the spec's
+	// fault plan and assert the isolation and soundness contracts.
+	// Only exact for single-granularity plans (see Spec.Fault).
+	if fplan != nil && len(plan.Switch.Chain) == 1 {
+		out.Faulted = true
+		out.FaultViolation = runFaultPass(engineOpts, fplan, pol, tr, proof, seq)
 	}
 	return out
 }
 
-func runSequential(opts core.Options, pol *policy.Policy, tr *trace.Trace) ([]feature.Vector, uint64, error) {
-	var vecs []feature.Vector
-	fe, err := core.New(opts, pol, feature.Collect(&vecs))
+// engineRun bundles one engine pass's outputs with the saturation
+// counters the soundness cross-check reads.
+type engineRun struct {
+	vecs []feature.Vector
+	sw   switchsim.Stats
+	nic  nicsim.RuntimeStats
+}
+
+// tripped sums the four saturation counters. The runtime clamps with
+// the narrowest contract across an op's reducers, so any value
+// planprove flags for any single reducer lands in one of these.
+func (r *engineRun) tripped() uint64 {
+	return r.sw.CellSaturations + r.sw.FGIndexClips + r.nic.RangeClamps + r.nic.SatInputs
+}
+
+func runSequential(opts core.Options, pol *policy.Policy, tr *trace.Trace) (engineRun, error) {
+	var run engineRun
+	fe, err := core.New(opts, pol, feature.Collect(&run.vecs))
 	if err != nil {
-		return nil, 0, err
+		return run, err
 	}
 	for i := range tr.Packets {
 		fe.Process(&tr.Packets[i])
 	}
 	fe.Flush()
 	if err := fe.Err(); err != nil {
-		return nil, 0, fmt.Errorf("wire verify: %w", err)
+		return run, fmt.Errorf("wire verify: %w", err)
 	}
-	return vecs, fe.SwitchStats().FGOverwrites, nil
+	run.sw, run.nic = fe.SwitchStats(), fe.NICStats()
+	return run, nil
 }
 
-func runParallel(opts core.Options, spec Spec, pol *policy.Policy, tr *trace.Trace) ([]feature.Vector, uint64, error) {
+func runParallel(opts core.Options, spec Spec, pol *policy.Policy, tr *trace.Trace) (engineRun, error) {
 	workers := spec.Workers
 	if workers < 2 {
 		workers = 2
@@ -171,20 +242,20 @@ func runParallel(opts core.Options, spec Spec, pol *policy.Policy, tr *trace.Tra
 	// The wire round-trip already ran on the sequential pass; skip it
 	// here so a campaign's cost stays linear in trace size.
 	popts.Options.VerifyWire = false
-	var vecs []feature.Vector
-	fe, err := core.NewParallel(popts, pol, feature.Collect(&vecs))
+	var run engineRun
+	fe, err := core.NewParallel(popts, pol, feature.Collect(&run.vecs))
 	if err != nil {
-		return nil, 0, err
+		return run, err
 	}
 	for i := range tr.Packets {
 		fe.Process(&tr.Packets[i])
 	}
 	ferr := fe.Flush()
-	ow := fe.SwitchStats().FGOverwrites
+	run.sw, run.nic = fe.SwitchStats(), fe.NICStats()
 	if err := fe.Close(); err != nil {
-		return nil, 0, err
+		return run, err
 	}
-	return vecs, ow, ferr
+	return run, ferr
 }
 
 func runBaseline(pol *policy.Policy, tr *trace.Trace) ([]feature.Vector, error) {

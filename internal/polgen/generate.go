@@ -56,8 +56,29 @@ func Generate(seed int64, index int) Spec {
 		NumLong:       pickInt(rng, 0, 0, 1024),
 	}
 	s.NIC = NICSpec{EMEMBytes: pickInt(rng, 0, 0, 0, 256<<10, 1<<20)}
+
+	// Fault campaign: roughly a third of the single-granularity cases
+	// re-run the sequential engine under scoped fault injection and
+	// assert the PR-5 isolation contract. Multi-granularity chains are
+	// excluded — their FG updates ride the reliable channel, so scoped
+	// isolation is only exact when CG == FG.
+	if nBlocks == 1 && rng.Intn(3) == 0 {
+		pool := append([]string(nil), faultKindPool...)
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		s.Fault = &FaultSpec{
+			Seed:  1 + rng.Int63n(1<<31),
+			Rate:  []float64{0.05, 0.1, 0.2}[rng.Intn(3)],
+			Kinds: pool[:1+rng.Intn(3)],
+		}
+	}
 	return s
 }
+
+// faultKindPool is the flow-scoped kinds Generate draws from; specs
+// naming corrupt or truncate skip the clamp-soundness assertion (the
+// decoded garbage may legitimately saturate) but still must preserve
+// out-of-scope equivalence.
+var faultKindPool = []string{"drop", "dup", "reorder", "corrupt", "truncate", "softerror", "ememfail"}
 
 // wellKnown mirrors the destination-port pool the trace generator
 // draws from, so port filters keep a meaningful share of traffic.

@@ -109,6 +109,12 @@ func proposals(s Spec) []Spec {
 			out = append(out, c)
 		}
 	}
+	// Drop the fault campaign.
+	if s.Fault != nil {
+		c := clone(s)
+		c.Fault = nil
+		out = append(out, c)
+	}
 	// Reset hardware knobs to defaults, one at a time.
 	if s.Switch != (SwitchSpec{}) {
 		c := clone(s)
@@ -128,6 +134,11 @@ func proposals(s Spec) []Spec {
 func clone(s Spec) Spec {
 	c := s
 	c.Filters = append([]FilterSpec(nil), s.Filters...)
+	if s.Fault != nil {
+		f := *s.Fault
+		f.Kinds = append([]string(nil), s.Fault.Kinds...)
+		c.Fault = &f
+	}
 	c.Blocks = make([]BlockSpec, len(s.Blocks))
 	for i, b := range s.Blocks {
 		nb := b

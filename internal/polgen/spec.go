@@ -18,6 +18,7 @@ package polgen
 import (
 	"fmt"
 
+	"superfe/internal/faults"
 	"superfe/internal/flowkey"
 	"superfe/internal/nicsim"
 	"superfe/internal/packet"
@@ -42,6 +43,27 @@ type Spec struct {
 	// Workers is the parallel-engine shard count used when the plan
 	// is feasible (clamped to [2,4] by Run).
 	Workers int `json:"workers"`
+	// Fault, when set, adds a fault-injection pass to the case: the
+	// sequential engine re-runs under the materialized faults.Plan and
+	// the harness asserts the PR-5 isolation contract (out-of-scope
+	// flows bit-identical to the clean run) plus planprove soundness
+	// (a clean-proved plan trips no saturation clamp even under
+	// faults, unless the kinds corrupt frame payloads). Only honoured
+	// for single-granularity policies — multi-granularity FG updates
+	// ride the reliable channel, so scoped isolation is not exact.
+	Fault *FaultSpec `json:"fault,omitempty"`
+}
+
+// FaultSpec is the JSON slice of a faults.Plan: seed, rate and kind
+// names. The scope is fixed to the upper half of the CG-hash space
+// ([1<<31, 2^32-1]) so every trace leaves a large out-of-scope
+// population to compare. Only flow-scoped kinds are allowed (wire
+// faults, soft errors, EMEM failures); shard-wide hazards (aging and
+// island stalls) ignore the scope and would void the comparison.
+type FaultSpec struct {
+	Seed  int64    `json:"seed"`
+	Rate  float64  `json:"rate"`
+	Kinds []string `json:"kinds"` // drop | dup | reorder | corrupt | truncate | softerror | ememfail
 }
 
 // FilterSpec is one pre-groupby filter predicate.
@@ -145,6 +167,18 @@ var reduceFuncByName = map[string]streaming.Func{
 	"radius":   streaming.FRadius,
 	"cov":      streaming.FCov,
 	"pcc":      streaming.FPCC,
+}
+
+// faultKindByName covers only the flow-scoped kinds a FaultSpec may
+// name; the shard-wide hazards are deliberately absent (see FaultSpec).
+var faultKindByName = map[string]faults.Kind{
+	"drop":      faults.KindDrop,
+	"dup":       faults.KindDup,
+	"reorder":   faults.KindReorder,
+	"corrupt":   faults.KindCorrupt,
+	"truncate":  faults.KindTruncate,
+	"softerror": faults.KindSoftError,
+	"ememfail":  faults.KindEMEMFail,
 }
 
 var fieldByName = map[string]packet.FieldName{
@@ -298,6 +332,36 @@ func (s *Spec) NICConfig() nicsim.Config {
 		cfg.Memories[nicsim.MemEMEM].Bytes = s.NIC.EMEMBytes
 	}
 	return cfg
+}
+
+// FaultScopeLo is the lower bound of the fixed fault scope: faults
+// hit only groups hashing into the upper half of the CG-hash space,
+// so roughly half of every trace's flows stay out of scope and anchor
+// the isolation comparison.
+const FaultScopeLo = uint32(1) << 31
+
+// FaultPlan materializes the spec's fault campaign, or nil. Unknown
+// kind names are reported so corpus files fail loudly, not silently
+// fault-free.
+func (s *Spec) FaultPlan() (*faults.Plan, error) {
+	if s.Fault == nil {
+		return nil, nil
+	}
+	var kinds faults.Set
+	for _, name := range s.Fault.Kinds {
+		k, ok := faultKindByName[name]
+		if !ok {
+			return nil, fmt.Errorf("polgen: unknown fault kind %q", name)
+		}
+		kinds = kinds.With(k)
+	}
+	return &faults.Plan{
+		Seed:    s.Fault.Seed,
+		Rate:    s.Fault.Rate,
+		Kinds:   kinds,
+		ScopeLo: FaultScopeLo,
+		ScopeHi: ^uint32(0),
+	}, nil
 }
 
 // Model is the planvet envelope for this spec — the exact same

@@ -1,0 +1,53 @@
+package switchsim
+
+import "superfe/internal/packet"
+
+// Register-width model of the MGPV cell layout. The simulator stores
+// every batched metadata value in a uint32 for simplicity, but a
+// Tofino register file would size each slot to its field: one byte
+// for protocol/TTL/flags, two for ports, ingress and the IPv4
+// total-length-bounded size, four for addresses and the wrapping
+// timestamp. planprove proves each batched field stays inside its
+// modeled register; the CellSaturations counter is the runtime ground
+// truth for that proof — it counts cells whose staged value would not
+// have fit the hardware register, without altering the simulated
+// value (the simulators stay exact; the counter prices the deployment
+// gap).
+
+// CellRegisterBits returns the modeled register width, in bits, of
+// field f in the MGPV cell layout.
+func CellRegisterBits(f packet.FieldName) int {
+	switch f {
+	case packet.FieldProto, packet.FieldTTL, packet.FieldFlags:
+		return 8
+	case packet.FieldSrcPort, packet.FieldDstPort, packet.FieldIngress, packet.FieldSize:
+		return 16
+	}
+	return 32
+}
+
+// MaxWireFGIndex is the largest FG table index the wire cell header
+// can carry: gpv packs the index into 15 bits, with bit 15 holding
+// the direction flag. An FG table larger than MaxWireFGIndex+1
+// entries produces indices that alias on the wire (counted by
+// Stats.FGIndexClips and rejected statically by planprove).
+const MaxWireFGIndex = 1<<15 - 1
+
+// narrowSlot precomputes one sub-32-bit cell register check: the cell
+// Values position and the register's maximum value.
+type narrowSlot struct {
+	pos int
+	max uint32
+}
+
+// narrowSlotsFor returns the narrow-register checks for a metadata
+// layout, in cell order.
+func narrowSlotsFor(fields []packet.FieldName) []narrowSlot {
+	var out []narrowSlot
+	for i, f := range fields {
+		if bits := CellRegisterBits(f); bits < 32 {
+			out = append(out, narrowSlot{pos: i, max: 1<<uint(bits) - 1})
+		}
+	}
+	return out
+}

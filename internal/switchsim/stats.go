@@ -31,6 +31,18 @@ type Stats struct {
 	// ShedCells counts cells dropped by degraded-mode long-buffer
 	// shedding (graceful degradation under sustained NIC pressure).
 	ShedCells uint64
+
+	// CellSaturations counts staged cells whose metadata values would
+	// not fit their modeled hardware register widths (see
+	// CellRegisterBits). The simulated values stay exact — this is
+	// the ground-truth counter planprove's cell-register proofs are
+	// cross-checked against.
+	CellSaturations uint64
+	// FGIndexClips counts FG table indices past MaxWireFGIndex: the
+	// wire cell header carries 15 index bits, so these alias on the
+	// NIC. Only reachable with FGTableSize > 32768 (planprove rejects
+	// such configurations statically).
+	FGIndexClips uint64
 }
 
 // Add accumulates another switch's counters — merging per-shard
@@ -54,6 +66,8 @@ func (s *Stats) Add(o Stats) {
 	}
 	s.AgingChecks += o.AgingChecks
 	s.ShedCells += o.ShedCells
+	s.CellSaturations += o.CellSaturations
+	s.FGIndexClips += o.FGIndexClips
 }
 
 // AggregationRatio is the Figure 12 metric: bytes sent to the NIC
@@ -91,6 +105,12 @@ func (s Stats) String() string {
 		ev.String(), s.FGUpdates, s.FGOverwrites)
 	if s.ShedCells > 0 {
 		out += fmt.Sprintf(" shed=%d", s.ShedCells)
+	}
+	if s.CellSaturations > 0 {
+		out += fmt.Sprintf(" cellsat=%d", s.CellSaturations)
+	}
+	if s.FGIndexClips > 0 {
+		out += fmt.Sprintf(" fgclip=%d", s.FGIndexClips)
 	}
 	return out
 }

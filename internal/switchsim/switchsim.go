@@ -181,6 +181,11 @@ type Switch struct {
 	// for one granularity (the Figure 13 baseline): the FG table is
 	// not used and cells carry no FG index.
 	singleGran bool
+
+	// narrowSlots precomputes the sub-32-bit register checks for the
+	// cell layout (see registers.go); groupCell walks it to maintain
+	// the CellSaturations counter.
+	narrowSlots []narrowSlot
 }
 
 // New creates a switch running the given compiled switch plan. The
@@ -218,6 +223,7 @@ func New(cfg Config, plan policy.SwitchPlan, sink func(gpv.Message)) (*Switch, e
 	s.singleGran = plan.CG == plan.FG && len(plan.Chain) == 1
 	s.nvals = len(plan.MetadataFields)
 	s.cellScratch.Values = make([]uint32, s.nvals)
+	s.narrowSlots = narrowSlotsFor(plan.MetadataFields)
 	if s.obs != nil {
 		s.cellsPerMsg = s.obs.CellsPerMsg.Stage()
 	}
@@ -392,6 +398,12 @@ func (s *Switch) groupCell(cgKey flowkey.Key, hash uint32, tuple flowkey.FiveTup
 
 	// Finish the staged cell: FG index + direction.
 	cell := &s.cellScratch
+	// Register-width accounting (values stay exact; see registers.go).
+	for _, ns := range s.narrowSlots {
+		if cell.Values[ns.pos] > ns.max {
+			s.stat.CellSaturations++
+		}
+	}
 	if !s.singleGran {
 		fgKey, fwd := s.fgKeyFor(tuple)
 		cell.FGIndex = s.fgIndex(fgKey)
@@ -433,6 +445,9 @@ func (s *Switch) fgKeyFor(t flowkey.FiveTuple) (flowkey.FiveTuple, bool) {
 // one of the approximation sources bounded by Figure 10.
 func (s *Switch) fgIndex(key flowkey.FiveTuple) uint16 {
 	idx := flowkey.Hash32(key) % uint32(len(s.fgTable))
+	if idx > MaxWireFGIndex {
+		s.stat.FGIndexClips++
+	}
 	e := &s.fgTable[idx]
 	if !e.occupied || e.key != key {
 		if e.occupied {
