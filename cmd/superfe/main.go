@@ -17,6 +17,14 @@
 // /debug/pprof/. -flightrec-dir collects anomaly-triggered
 // flight-recorder dumps; -profile-dir rotates CPU+heap profiles on a
 // wall-clock cadence.
+//
+// Two subcommands run the resident service mode instead of a one-shot
+// replay:
+//
+//	superfe serve -listen unix:/tmp/sfe.sock -admin 127.0.0.1:9090 \
+//	    -tenants edge=NPOD,lab=Kitsune     # multi-tenant server
+//	superfe ingest -connect unix:/tmp/sfe.sock -tenant edge \
+//	    -trace enterprise                  # stream a workload into it
 package main
 
 import (
@@ -43,6 +51,17 @@ import (
 )
 
 func main() {
+	// Subcommands take over before the flat flag CLI: `superfe serve`
+	// is the resident multi-tenant service, `superfe ingest` its trace
+	// feeder (see serve.go).
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		case "ingest":
+			os.Exit(runIngest(os.Args[2:]))
+		}
+	}
 	list := flag.Bool("list", false, "list bundled policies")
 	polName := flag.String("policy", "", "bundled policy name (see -list)")
 	show := flag.Bool("show", false, "print the policy source and generated programs")

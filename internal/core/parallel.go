@@ -212,7 +212,40 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		e.frDir = opts.FlightRec.Dir
 		e.frRetain = opts.FlightRec.Retain
 	}
+	e.shards, err = e.deployShards(plan)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Obs.Enabled {
+		// Router-level registry: per-shard routing counters exposing
+		// the packet skew of the CG-hash sharding. Kept separate from
+		// the shard registries (whose schemas must stay identical for
+		// the flat-array merge) and appended to every snapshot.
+		e.obsEnabled = true
+		e.obsReg = obs.NewRegistry()
+		e.shardPkts = make([]obs.Counter, opts.Workers)
+		for i := range e.shardPkts {
+			e.shardPkts[i] = e.obsReg.Counter("superfe_engine_shard_pkts_total",
+				"packets routed to each shard (CG-hash skew)", obs.L("shard", strconv.Itoa(i)))
+		}
+		e.obsReg.Seal()
+		e.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, e.captureQuiesced)
+	}
+	e.refreshAdmin()
+	return e, nil
+}
+
+// deployShards builds one complete shard set — switch+NIC pair,
+// rings, recycled columnar batches, worker goroutine — for the given
+// compiled plan, without touching the engine's current shard set. It
+// is the constructor's shard loop, factored out so SwapPlan can stand
+// up a candidate deployment off to the side and only then retire the
+// live one. On error the partially built set is stopped and nothing
+// is left running.
+func (e *ParallelEngine) deployShards(plan *policy.Plan) ([]*pshard, error) {
+	opts := e.opts
 	nf := len(plan.Switch.MetadataFields)
+	shards := make([]*pshard, 0, opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		sh := &pshard{
 			eng:  e,
@@ -234,11 +267,12 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		} else {
 			shardSink = sh.bufferVec
 		}
-		sh.fe, err = newFromPlan(opts.Options, plan, i, shardSink)
+		fe, err := newFromPlan(opts.Options, plan, i, shardSink)
 		if err != nil {
-			e.stop()
+			stopShards(shards)
 			return nil, err
 		}
+		sh.fe = fe
 		if p := sh.fe.Obs(); p != nil {
 			sh.spans = p.Spans
 			sh.in.instrumentIn(p.Ring)
@@ -256,27 +290,74 @@ func NewParallel(opts ParallelOptions, pol *policy.Policy, sink feature.Sink) (*
 		for j := 0; j < opts.QueueDepth; j++ {
 			sh.free.push(shardMsg{cols: switchsim.NewColumns(opts.BatchSize, nf)})
 		}
-		e.shards = append(e.shards, sh)
-		//superfe:goroutine-ok shard worker: exits when stop() closes its input ring (pop returns ok=false) and is joined via sh.done
+		shards = append(shards, sh)
+		//superfe:goroutine-ok shard worker: exits when stopShards closes its input ring (pop returns ok=false) and is joined via sh.done
 		go sh.run()
 	}
-	if opts.Obs.Enabled {
-		// Router-level registry: per-shard routing counters exposing
-		// the packet skew of the CG-hash sharding. Kept separate from
-		// the shard registries (whose schemas must stay identical for
-		// the flat-array merge) and appended to every snapshot.
-		e.obsEnabled = true
-		e.obsReg = obs.NewRegistry()
-		e.shardPkts = make([]obs.Counter, opts.Workers)
-		for i := range e.shardPkts {
-			e.shardPkts[i] = e.obsReg.Counter("superfe_engine_shard_pkts_total",
-				"packets routed to each shard (CG-hash skew)", obs.L("shard", strconv.Itoa(i)))
-		}
-		e.obsReg.Seal()
-		e.rec = obs.NewRecorder(opts.Obs.SnapshotInterval, e.captureQuiesced)
+	return shards, nil
+}
+
+// stopShards closes the shard input rings and joins the workers.
+func stopShards(shards []*pshard) {
+	for _, sh := range shards {
+		sh.in.close()
 	}
+	for _, sh := range shards {
+		<-sh.done
+	}
+}
+
+// SwapPlan atomically replaces the deployed plan at a batch barrier —
+// the engine-lifecycle half of a tenant hot reload. The sequence is:
+// a complete candidate shard set (switches, NICs, rings, columnar
+// batches sized for the new metadata layout, worker goroutines) is
+// built off to the side while the live deployment keeps serving; the
+// live deployment is then flushed (a barrier — every packet handed to
+// Process is extracted and every old-plan vector reaches the sink
+// before the swap, so the output stream is a clean old-plan prefix
+// followed by new-plan vectors, never a torn batch); finally the old
+// workers are retired and the candidate installed. A candidate that
+// fails to deploy leaves the live plan serving untouched.
+//
+// SwapPlan performs no feasibility checking itself — callers that
+// must reject envelope or value-range violations gate the candidate
+// through planvet/planprove first (internal/serve does). Per-shard
+// pipeline counters and flight-recorder rings restart with the new
+// deployment, like any fresh deployment's; the router's clock,
+// routing counters and flight recorder carry across the swap.
+// Router goroutine only, like Process and Flush.
+func (e *ParallelEngine) SwapPlan(plan *policy.Plan) error {
+	if e.closed {
+		return fmt.Errorf("core: parallel engine is closed")
+	}
+	next, err := e.deployShards(plan)
+	if err != nil {
+		return fmt.Errorf("core: plan swap: deploy candidate: %w", err)
+	}
+	if err := e.Flush(); err != nil {
+		stopShards(next)
+		return fmt.Errorf("core: plan swap: flush live plan: %w", err)
+	}
+	old := e.shards
+	// Install under adminMu: Status and ObsScrape walk the shard slice
+	// from the HTTP goroutine while the router swaps it.
+	e.adminMu.Lock()
+	e.shards = next
+	e.adminMu.Unlock()
+	stopShards(old)
+	e.plan, e.pred, e.cg, e.metaFields = plan, plan.Switch.Pred, plan.Switch.CG, plan.Switch.MetadataFields
 	e.refreshAdmin()
-	return e, nil
+	return nil
+}
+
+// liveShards snapshots the shard slice for readers off the router
+// goroutine (the admin HTTP surface), which must not race a SwapPlan
+// installing a new set. Router-side code reads e.shards directly —
+// SwapPlan runs on the router goroutine, so no swap can interleave.
+func (e *ParallelEngine) liveShards() []*pshard {
+	e.adminMu.Lock()
+	defer e.adminMu.Unlock()
+	return e.shards
 }
 
 // captureQuiesced is the interval recorder's capture: it drains every
@@ -292,8 +373,9 @@ func (e *ParallelEngine) captureQuiesced() *obs.Snapshot {
 // mergedSnapshot sums the per-shard registries (identical schemas,
 // so the flat value arrays line up) and appends the router registry.
 func (e *ParallelEngine) mergedSnapshot() *obs.Snapshot {
-	snaps := make([]*obs.Snapshot, len(e.shards))
-	for i, sh := range e.shards {
+	shards := e.liveShards()
+	snaps := make([]*obs.Snapshot, len(shards))
+	for i, sh := range shards {
 		snaps[i] = sh.fe.ObsSnapshot()
 	}
 	merged := obs.MergeSnapshots(snaps...)
@@ -651,11 +733,12 @@ func (e *ParallelEngine) Status() *obs.StatusReport {
 	e.adminMu.Lock()
 	st := e.status
 	st.Shards = append([]obs.ShardStatus(nil), st.Shards...)
+	shards := e.shards
 	e.adminMu.Unlock()
 	st.Clock = e.pubPkts.Load()
 	worst := obs.HealthHealthy
 	degraded := 0
-	for i, sh := range e.shards {
+	for i, sh := range shards {
 		h := obs.Health(sh.fe.health.Load())
 		if h > worst {
 			worst = h
@@ -728,15 +811,9 @@ func (e *ParallelEngine) Close() error {
 	return e.Err()
 }
 
-// stop terminates the started workers (also the constructor's error
-// path, where later shards may not exist yet).
+// stop terminates the started workers.
 func (e *ParallelEngine) stop() {
-	for _, sh := range e.shards {
-		sh.in.close()
-	}
-	for _, sh := range e.shards {
-		<-sh.done
-	}
+	stopShards(e.shards)
 	e.closed = true
 }
 

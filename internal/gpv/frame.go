@@ -1,0 +1,150 @@
+// Length-prefixed frame codec for SuperFE's stream transports: the
+// live-ingestion wire protocol (packets into a resident `superfe
+// serve` deployment) and the per-tenant feature-vector output streams
+// both carry their payloads inside these frames. The GPV message
+// codec above frames the *content* of the switch→NIC channel; this
+// file frames the *transport* — a self-describing header (magic,
+// version, kind) plus a bounded big-endian length, so a reader can
+// resynchronise detection of garbage, reject oversize claims before
+// allocating, and version the payload encodings independently of the
+// frame layer.
+//
+// Frame wire format (version 1):
+//
+//	frame := magic:u8(0x5F) version:u8 kind:u8 reserved:u8 len:u32be payload
+//
+// kind is owned by the layer above (internal/serve defines the ingest
+// protocol's kinds); the frame layer only transports it. reserved
+// must be zero in version 1.
+package gpv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame layer constants.
+const (
+	// FrameMagic is the first byte of every frame ('_', 0x5F): cheap
+	// desync detection on a corrupted or misaligned stream.
+	FrameMagic = 0x5F
+	// FrameVersion is the current frame-layer version.
+	FrameVersion = 1
+	// FrameHeaderBytes is the fixed frame header size.
+	FrameHeaderBytes = 8
+	// MaxFramePayload bounds one frame's payload. The bound exists so
+	// a hostile or corrupted length prefix cannot make a reader
+	// allocate gigabytes before the first payload byte arrives.
+	MaxFramePayload = 1 << 20
+)
+
+// Frame codec errors. ErrShortBuffer (shared with the message codec)
+// marks an incomplete frame — retry with more bytes; every other
+// error is fatal for the stream.
+var (
+	ErrFrameMagic    = errors.New("gpv: bad frame magic")
+	ErrFrameVersion  = errors.New("gpv: unsupported frame version")
+	ErrFrameReserved = errors.New("gpv: nonzero reserved frame header byte")
+	ErrFrameSize     = errors.New("gpv: frame payload exceeds size bound")
+)
+
+// AppendFrame appends one encoded frame carrying payload to dst and
+// returns the extended slice. It fails only on an oversize payload.
+func AppendFrame(dst []byte, kind uint8, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
+		return dst, fmt.Errorf("%w: %d > %d", ErrFrameSize, len(payload), MaxFramePayload)
+	}
+	var hdr [FrameHeaderBytes]byte
+	hdr[0] = FrameMagic
+	hdr[1] = FrameVersion
+	hdr[2] = kind
+	hdr[3] = 0
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...), nil
+}
+
+// DecodeFrame decodes one frame from the front of b. It returns the
+// frame kind, the payload (aliasing b — copy before retaining) and
+// the total bytes consumed. An incomplete frame returns
+// ErrShortBuffer with n=0: read more bytes and retry. Any other error
+// is fatal — the stream is desynchronised or speaks a different
+// protocol.
+func DecodeFrame(b []byte) (kind uint8, payload []byte, n int, err error) {
+	if len(b) < FrameHeaderBytes {
+		return 0, nil, 0, ErrShortBuffer
+	}
+	if b[0] != FrameMagic {
+		return 0, nil, 0, fmt.Errorf("%w: 0x%02x", ErrFrameMagic, b[0])
+	}
+	if b[1] != FrameVersion {
+		return 0, nil, 0, fmt.Errorf("%w: %d", ErrFrameVersion, b[1])
+	}
+	if b[3] != 0 {
+		return 0, nil, 0, fmt.Errorf("%w: 0x%02x", ErrFrameReserved, b[3])
+	}
+	plen := binary.BigEndian.Uint32(b[4:8])
+	if plen > MaxFramePayload {
+		return 0, nil, 0, fmt.Errorf("%w: %d > %d", ErrFrameSize, plen, MaxFramePayload)
+	}
+	total := FrameHeaderBytes + int(plen)
+	if len(b) < total {
+		return 0, nil, 0, ErrShortBuffer
+	}
+	return b[2], b[FrameHeaderBytes:total], total, nil
+}
+
+// FrameReader decodes frames from a byte stream, reusing one buffer
+// across frames so a long-lived connection reader allocates only on
+// payload-size high watermarks.
+type FrameReader struct {
+	r   io.Reader
+	hdr [FrameHeaderBytes]byte
+	buf []byte
+}
+
+// NewFrameReader wraps r. The reader issues exactly two ReadFull
+// calls per frame (header, payload), so callers wanting fewer
+// syscalls should hand it a buffered reader.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Next reads one frame. The returned payload is valid only until the
+// next call. io.EOF is returned exactly at a clean frame boundary; a
+// stream truncated mid-frame returns io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() (kind uint8, payload []byte, err error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	h := fr.hdr
+	if h[0] != FrameMagic {
+		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrFrameMagic, h[0])
+	}
+	if h[1] != FrameVersion {
+		return 0, nil, fmt.Errorf("%w: %d", ErrFrameVersion, h[1])
+	}
+	if h[3] != 0 {
+		return 0, nil, fmt.Errorf("%w: 0x%02x", ErrFrameReserved, h[3])
+	}
+	plen := binary.BigEndian.Uint32(h[4:8])
+	if plen > MaxFramePayload {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameSize, plen, MaxFramePayload)
+	}
+	if int(plen) > cap(fr.buf) {
+		fr.buf = make([]byte, plen)
+	}
+	fr.buf = fr.buf[:plen]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return h[2], fr.buf, nil
+}

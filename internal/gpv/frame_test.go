@@ -1,0 +1,133 @@
+package gpv
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xAB}, 1000),
+	}
+	var stream []byte
+	for i, p := range payloads {
+		var err error
+		stream, err = AppendFrame(stream, uint8(i), p)
+		if err != nil {
+			t.Fatalf("AppendFrame(%d): %v", i, err)
+		}
+	}
+	// Buffer-at-a-time decode.
+	rest := stream
+	for i, p := range payloads {
+		kind, payload, n, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("DecodeFrame frame %d: %v", i, err)
+		}
+		if kind != uint8(i) {
+			t.Errorf("frame %d: kind = %d", i, kind)
+		}
+		if !bytes.Equal(payload, p) {
+			t.Errorf("frame %d: payload mismatch", i)
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		t.Errorf("%d trailing bytes after decoding all frames", len(rest))
+	}
+	// Stream decode.
+	fr := NewFrameReader(bytes.NewReader(stream))
+	for i, p := range payloads {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			t.Fatalf("FrameReader frame %d: %v", i, err)
+		}
+		if kind != uint8(i) || !bytes.Equal(payload, p) {
+			t.Errorf("FrameReader frame %d: kind=%d payload mismatch", i, kind)
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameDecodeIncomplete(t *testing.T) {
+	full, err := AppendFrame(nil, 7, []byte("hello frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, n, err := DecodeFrame(full[:cut]); !errors.Is(err, ErrShortBuffer) || n != 0 {
+			t.Fatalf("cut=%d: err=%v n=%d, want ErrShortBuffer n=0", cut, err, n)
+		}
+	}
+	// A truncated stream must be distinguishable from a clean EOF.
+	fr := NewFrameReader(bytes.NewReader(full[:len(full)-1]))
+	if _, _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated stream: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestFrameDecodeRejectsGarbageHeader(t *testing.T) {
+	good, err := AppendFrame(nil, 1, []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		want   error
+	}{
+		{"magic", func(b []byte) { b[0] = 0x00 }, ErrFrameMagic},
+		{"version", func(b []byte) { b[1] = 99 }, ErrFrameVersion},
+		{"reserved", func(b []byte) { b[3] = 1 }, ErrFrameReserved},
+		{"oversize", func(b []byte) { b[4], b[5], b[6], b[7] = 0xFF, 0xFF, 0xFF, 0xFF }, ErrFrameSize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), good...)
+			tc.mutate(b)
+			if _, _, _, err := DecodeFrame(b); !errors.Is(err, tc.want) {
+				t.Errorf("DecodeFrame: err = %v, want %v", err, tc.want)
+			}
+			fr := NewFrameReader(bytes.NewReader(b))
+			if _, _, err := fr.Next(); !errors.Is(err, tc.want) {
+				t.Errorf("FrameReader: err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAppendFrameRejectsOversizePayload(t *testing.T) {
+	if _, err := AppendFrame(nil, 0, make([]byte, MaxFramePayload+1)); !errors.Is(err, ErrFrameSize) {
+		t.Errorf("oversize append: err = %v, want ErrFrameSize", err)
+	}
+}
+
+// TestFrameReaderReusesBuffer pins the allocation contract: a steady
+// stream of same-size frames must not allocate per frame after the
+// first (the payload buffer is a reused high-watermark arena).
+func TestFrameReaderReusesBuffer(t *testing.T) {
+	frame, err := AppendFrame(nil, 3, bytes.Repeat([]byte{1}, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bytes.Repeat(frame, 50)
+	fr := NewFrameReader(bytes.NewReader(stream))
+	if _, _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(40, func() {
+		if _, _, err := fr.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("FrameReader.Next allocates %.1f per frame after warm-up", allocs)
+	}
+}

@@ -65,6 +65,9 @@ type ShardStatus struct {
 // Health and Clock are overlaid live from atomics so degraded-mode
 // transitions are visible while the replay runs.
 type StatusReport struct {
+	// Tenant scopes the report in a multi-tenant deployment (empty for
+	// single-tenant engines, which know nothing about tenancy).
+	Tenant         string        `json:"tenant,omitempty"`
 	Health         string        `json:"health"`
 	Workers        int           `json:"workers"`
 	Policy         string        `json:"policy"`

@@ -305,3 +305,29 @@ func TestPipelineDisabled(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapshotTagged(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("svc_pkts_total", "packets", L("shard", "0"))
+	g := r.Gauge("svc_depth", "queue depth")
+	r.Seal()
+	c.Add(7)
+	g.Set(3)
+	snap := r.Snapshot()
+	tagged := snap.Tagged("tenant", "alpha")
+	// The tenant label is prepended; existing labels survive behind it.
+	if v, ok := tagged.Value("svc_pkts_total", "alpha", "0"); !ok || v != 7 {
+		t.Errorf("tagged counter = %d, %v", v, ok)
+	}
+	if v, ok := tagged.Value("svc_depth", "alpha"); !ok || v != 3 {
+		t.Errorf("tagged gauge = %d, %v", v, ok)
+	}
+	// The original snapshot (and the registry defs it shares) are
+	// untouched.
+	if v, ok := snap.Value("svc_pkts_total", "0"); !ok || v != 7 {
+		t.Errorf("original snapshot mutated: %d, %v", v, ok)
+	}
+	if len(snap.Defs[0].Labels) != 1 {
+		t.Errorf("registry defs mutated: %v", snap.Defs[0].Labels)
+	}
+}

@@ -61,6 +61,25 @@ func (s *Snapshot) Append(o *Snapshot) {
 	s.Vals = append(s.Vals, o.Vals...)
 }
 
+// Tagged returns a copy of the snapshot with the given label
+// prepended to every series — how a multi-tenant deployment scopes
+// each tenant's merged registry before exposition, so one scrape
+// surface can carry many tenants without series collisions. Defs are
+// copied (the originals are shared with the registry); Vals are
+// shared with s, which is safe because snapshots are immutable once
+// captured.
+func (s *Snapshot) Tagged(name, value string) *Snapshot {
+	out := &Snapshot{Clock: s.Clock, Defs: make([]SeriesDef, len(s.Defs)), Vals: s.Vals}
+	for i, d := range s.Defs {
+		labels := make([]LabelPair, 0, len(d.Labels)+1)
+		labels = append(labels, L(name, value))
+		labels = append(labels, d.Labels...)
+		d.Labels = labels
+		out.Defs[i] = d
+	}
+	return out
+}
+
 // DeltaFrom returns the interval view between prev and s: counter and
 // histogram slots are differenced (monotonic, so the delta is the
 // interval's activity); gauge slots keep s's instantaneous value.

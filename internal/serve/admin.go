@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"superfe/internal/obs"
+)
+
+// serviceStatus is the GET /status document: the whole deployment at
+// a glance, one engine status report per tenant.
+type serviceStatus struct {
+	Tenants int                 `json:"tenants"`
+	Reports []*obs.StatusReport `json:"reports"`
+}
+
+// AdminHandler returns the service's lifecycle + telemetry HTTP
+// surface, grafted onto the per-engine obs admin pages:
+//
+//	GET  /tenants                      tenant registry listing
+//	POST /tenants                      create a tenant {"name","policy","workers"}
+//	GET  /tenants/{name}               one tenant's engine status report
+//	POST /tenants/{name}/reload        hot reload {"policy": "..."}; 422 + report on rejection
+//	POST /tenants/{name}/stop          drain and remove the tenant
+//	     /tenants/{name}/obs/...       the tenant's obs surface (/metrics, /status, /spans, /flightrecorder)
+//	GET  /status                       all tenants' status reports
+//
+// Reload and create answer with the planvet cost report in the body
+// either way: 200 text on success, 422 on a planvet/planprove
+// rejection — the cost/witness findings are the response.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /tenants", func(w http.ResponseWriter, r *http.Request) {
+		tenants := s.Tenants()
+		infos := make([]TenantInfo, 0, len(tenants))
+		for _, t := range tenants {
+			infos = append(infos, t.Info())
+		}
+		writeJSON(w, struct {
+			Tenants []TenantInfo `json:"tenants"`
+		}{infos})
+	})
+
+	mux.HandleFunc("POST /tenants", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name    string `json:"name"`
+			Policy  string `json:"policy"`
+			Workers int    `json:"workers"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		_, report, err := s.StartTenant(req.Name, req.Policy, req.Workers)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrReloadRejected) {
+				status = http.StatusUnprocessableEntity
+			}
+			http.Error(w, err.Error()+"\n"+report, status)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, "tenant %s serving %s\n%s", req.Name, req.Policy, report)
+	})
+
+	mux.HandleFunc("GET /tenants/{name}", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.Tenant(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, t.Status())
+	})
+
+	mux.HandleFunc("POST /tenants/{name}/reload", func(w http.ResponseWriter, r *http.Request) {
+		t, ok := s.Tenant(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+			return
+		}
+		var req struct {
+			Policy string `json:"policy"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		pol, err := s.cfg.Resolve(req.Policy)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		report, err := t.Reload(req.Policy, pol)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		switch {
+		case errors.Is(err, ErrReloadRejected):
+			// The planvet/planprove verdict IS the response body: the
+			// operator sees exactly why the candidate cannot go live.
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			fmt.Fprintf(w, "reload rejected; live plan unchanged\n%s", report)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		default:
+			fmt.Fprintf(w, "tenant %s reloaded to %s\n%s", t.Name(), req.Policy, report)
+		}
+	})
+
+	mux.HandleFunc("POST /tenants/{name}/stop", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if err := s.StopTenant(name); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownTenant) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		fmt.Fprintf(w, "tenant %s drained and stopped\n", name)
+	})
+
+	mux.HandleFunc("/tenants/{name}/obs/", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		t, ok := s.Tenant(name)
+		if !ok {
+			http.Error(w, "unknown tenant", http.StatusNotFound)
+			return
+		}
+		prefix := "/tenants/" + name + "/obs"
+		if !strings.HasPrefix(r.URL.Path, prefix) {
+			http.NotFound(w, r)
+			return
+		}
+		http.StripPrefix(prefix, obs.NewHTTPHandler(t.ObsSource())).ServeHTTP(w, r)
+	})
+
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
+		tenants := s.Tenants()
+		doc := serviceStatus{Tenants: len(tenants)}
+		for _, t := range tenants {
+			doc.Reports = append(doc.Reports, t.Status())
+		}
+		writeJSON(w, doc)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
